@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  The scale is
+controlled by the ``REPRO_PRESET`` environment variable (``tiny`` by default,
+``small`` / ``default`` for longer runs); trained models and datasets are
+cached in a session-wide experiment context so the harness never trains the
+same model twice.
+
+Each benchmark writes the regenerated table to ``benchmarks/results/`` so the
+numbers recorded in EXPERIMENTS.md can be refreshed by re-running the harness.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_context, preset_from_environment
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+@pytest.fixture(scope="session")
+def preset() -> str:
+    return preset_from_environment(default="tiny")
+
+
+@pytest.fixture(scope="session")
+def seed() -> int:
+    return int(os.environ.get("REPRO_SEED", "0"))
+
+
+@pytest.fixture(scope="session")
+def context(preset, seed):
+    """Session-wide experiment context (datasets + trained models)."""
+    return get_context(preset, seed)
+
+
+@pytest.fixture(scope="session")
+def record_output():
+    """Write a regenerated table / figure to benchmarks/results/<name>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(name: str, text: str) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.txt")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return _record

@@ -1,0 +1,21 @@
+"""Ablation benchmark — bandwidth (sigma) of the Gaussian random Fourier features.
+
+Supplementary to Table V: sweeps the standard deviation of the random
+frequency matrix B in Eq. (15).  Too small a sigma under-represents the
+kernel structure, too large a sigma slows convergence; the default sits in the
+middle.
+"""
+
+from repro.experiments.ablations import run_rff_sigma_ablation
+
+
+def test_ablation_rff_sigma(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(
+        lambda: run_rff_sigma_ablation(preset, seed, sigmas=(0.5, 1.0, 4.0)),
+        rounds=1, iterations=1)
+
+    print("\n" + result["table"])
+    record_output("ablation_rff_sigma", result["table"])
+
+    assert len(result["psnr"]) == 3
+    assert all(value > 15.0 for value in result["psnr"])

@@ -1,0 +1,24 @@
+"""Fig. 2(a) benchmark — t-SNE embedding of the four datasets.
+
+Paper shape to reproduce: the four datasets occupy distinct regions of the
+embedding (they are drawn from different mask-shape distributions), which is
+the premise of the OOD study.
+"""
+
+from repro.experiments.fig2 import run_fig2a
+
+
+def test_fig2a_dataset_tsne(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(
+        lambda: run_fig2a(preset, seed, samples_per_dataset=8, iterations=150),
+        rounds=1, iterations=1)
+
+    summary = (f"t-SNE of B1 / B1opc / B2m / B2v\n"
+               f"samples per dataset: {result['per_dataset_counts']}\n"
+               f"inter/intra cluster separation ratio: {result['separation']:.3f}\n")
+    print("\n" + summary)
+    record_output("fig2a_tsne", summary)
+
+    assert set(result["per_dataset_counts"]) == {"B1", "B1opc", "B2m", "B2v"}
+    # Distinct distributions: clusters are separated more than they spread.
+    assert result["separation"] > 1.0

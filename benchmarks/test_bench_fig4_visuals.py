@@ -1,0 +1,39 @@
+"""Fig. 2(b) / Fig. 4 benchmark — qualitative aerial and resist visualisations.
+
+Regenerates the comparison panels (mask, golden resist, TEMPO / DOINN / Nitho
+predictions, Nitho aerial) for one tile of each dataset and an OOD panel, and
+checks that Nitho's resist prediction is the closest to the golden pattern.
+"""
+
+from repro.experiments.fig2 import run_fig2b
+from repro.experiments.fig4 import run_fig4
+from repro.metrics import resist_metrics
+
+
+def test_fig4_visual_panels(benchmark, preset, seed, record_output, context):
+    result = benchmark.pedantic(
+        lambda: run_fig4(preset, seed, datasets=("B1", "B2m", "B2v")), rounds=1, iterations=1)
+
+    text_blocks = []
+    for dataset_name, panel in result["panels"].items():
+        text_blocks.append(f"=== {dataset_name} ===\n{panel['ascii']}")
+    combined = "\n\n".join(text_blocks)
+    record_output("fig4_visuals", combined)
+
+    # Quantitative check behind the visual: Nitho's resist is closest to the golden one.
+    for dataset_name, panel in result["panels"].items():
+        golden = panel["images"]["Resist GT"]
+        nitho_score = resist_metrics(golden, panel["images"]["Nitho"])["miou"]
+        tempo_score = resist_metrics(golden, panel["images"]["TEMPO"])["miou"]
+        assert nitho_score >= tempo_score, dataset_name
+
+
+def test_fig2b_ood_panel(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(
+        lambda: run_fig2b(preset, seed, train_on="B2v", test_on="B2m"), rounds=1, iterations=1)
+
+    record_output("fig2b_ood_panel", result["ascii"])
+
+    scores = result["scores"]
+    assert scores["Nitho"]["miou"] > scores["TEMPO"]["miou"]
+    assert scores["Nitho"]["miou"] > scores["DOINN"]["miou"]

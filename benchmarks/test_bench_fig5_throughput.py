@@ -1,0 +1,24 @@
+"""Fig. 5 benchmark — throughput (µm²/s) of each lithography engine.
+
+Paper shape to reproduce: the learned models are orders of magnitude faster
+than the rigorous simulator (the paper reports ~90x for Nitho vs. the
+reference engine); Nitho's kernel-bank path needs no network inference.
+Absolute µm²/s values differ (CPU vs. GPU, scaled tiles) — only the ordering
+against the rigorous reference is asserted.
+"""
+
+from repro.experiments.fig5 import run_fig5
+
+
+def test_fig5_throughput(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(
+        lambda: run_fig5(preset, seed, tiles=2, repeats=1), rounds=1, iterations=1)
+
+    print("\n" + result["chart"])
+    record_output("fig5_throughput", result["chart"]
+                  + f"\n\nNitho vs rigorous speed-up: {result['nitho_vs_rigorous_speedup']:.1f}x\n")
+
+    speeds = result["um2_per_second"]
+    assert speeds["Nitho"] > speeds["Ref (rigorous Abbe)"]
+    assert speeds["Calibre-like (SOCS)"] > speeds["Ref (rigorous Abbe)"]
+    assert result["nitho_vs_rigorous_speedup"] > 3.0

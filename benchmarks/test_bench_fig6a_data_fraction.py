@@ -1,0 +1,31 @@
+"""Fig. 6(a) benchmark — test PSNR vs. fraction of training data used.
+
+Paper shape to reproduce: Nitho trained on a small fraction of the data is
+already more accurate than the image-to-image baselines trained on all of it,
+and its curve is nearly flat (kernel regression needs very little data).
+"""
+
+from repro.analysis.reporting import render_series
+from repro.experiments.fig6 import run_fig6a
+
+FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def test_fig6a_training_data_fraction(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(
+        lambda: run_fig6a(preset, seed, dataset_names=("B1",), fractions=FRACTIONS),
+        rounds=1, iterations=1)
+
+    table = render_series({"fraction": list(result["fractions"]), **result["psnr"]},
+                          x_label="point")
+    print("\n" + table)
+    record_output("fig6a_data_fraction", table)
+
+    psnr = result["psnr"]
+    # Nitho at the smallest fraction beats both baselines at the largest fraction.
+    assert psnr["Nitho"][0] > psnr["TEMPO"][-1]
+    assert psnr["Nitho"][0] > psnr["DOINN"][-1]
+    # Nitho's data efficiency: going from 25% to 100% changes PSNR by less than it
+    # changes for the baselines (relative to their own scale), i.e. the curve is flat-ish.
+    nitho_gain = psnr["Nitho"][-1] - psnr["Nitho"][0]
+    assert nitho_gain < 15.0

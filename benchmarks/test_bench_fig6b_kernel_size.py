@@ -1,0 +1,31 @@
+"""Fig. 6(b) benchmark — test PSNR vs. optical-kernel window size.
+
+Paper shape to reproduce: PSNR grows with the kernel width/height and then
+flattens once the window reaches the resolution-limit dimension of Eq. (10);
+making the window larger than the physical band limit buys nothing.
+"""
+
+from repro.analysis.reporting import render_series
+from repro.experiments.fig6 import run_fig6b
+
+
+def test_fig6b_kernel_dimension_ablation(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(
+        lambda: run_fig6b(preset, seed, dataset_names=("B1",)), rounds=1, iterations=1)
+
+    table = render_series({"kernel_size": list(result["kernel_sizes"]), **result["psnr"]},
+                          x_label="point")
+    text = table + f"\n\nEq. (10) optimal kernel size: {result['optimal_size']}\n"
+    print("\n" + text)
+    record_output("fig6b_kernel_size", text)
+
+    sizes = result["kernel_sizes"]
+    psnr = result["psnr"]["B1"]
+    optimal = result["optimal_size"]
+    optimal_index = sizes.index(min(sizes, key=lambda s: abs(s - optimal)))
+
+    # Severely undersized windows lose accuracy.
+    assert psnr[optimal_index] > psnr[0]
+    # Growing beyond the Eq. (10) dimension does not materially help (curve flattens).
+    if optimal_index + 1 < len(sizes):
+        assert psnr[optimal_index + 1] < psnr[optimal_index] + 3.0

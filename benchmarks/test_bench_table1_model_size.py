@@ -1,0 +1,20 @@
+"""Table I benchmark — model-size comparison (TEMPO / DOINN / Nitho).
+
+Paper reference values: TEMPO ~31 MB, DOINN ~1.3 MB, Nitho ~0.41 MB; Nitho is
+the smallest model by a wide margin (it uses ~31% of DOINN's parameters).
+"""
+
+from repro.experiments.table1 import run_table1
+
+
+def test_table1_model_size(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(
+        lambda: run_table1(preset, seed, paper_scale=True), rounds=1, iterations=1)
+
+    print("\n" + result["table"])
+    record_output("table1_model_size", result["table"])
+
+    paper = result["paper_scale"]
+    assert paper["TEMPO"]["parameters"] > paper["DOINN"]["parameters"] > paper["Nitho"]["parameters"]
+    assert paper["Nitho"]["size_mb"] < 1.0
+    assert paper["TEMPO"]["size_mb"] > 20.0

@@ -1,0 +1,17 @@
+"""Table II benchmark — dataset inventory (synthetic equivalents of B1/B1opc/B2m/B2v)."""
+
+from repro.experiments.table2 import run_table2
+
+
+def test_table2_dataset_inventory(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(lambda: run_table2(preset, seed), rounds=1, iterations=1)
+
+    print("\n" + result["table"])
+    record_output("table2_datasets", result["table"])
+
+    by_name = {row["dataset"]: row for row in result["rows"]}
+    assert set(by_name) == {"B1", "B1opc", "B2m", "B2v"}
+    # Relative proportions follow the paper: B2v largest, B2m smallest, B1opc test-only.
+    assert by_name["B2v"]["train"] >= by_name["B1"]["train"] >= by_name["B2m"]["train"]
+    assert by_name["B1opc"]["train"] == 0
+    assert by_name["B1opc"]["test"] > 0

@@ -1,0 +1,32 @@
+"""Table IV benchmark — out-of-distribution generalisation.
+
+Paper shape to reproduce: on the OOD transfers (B1->B1opc, B2m->B2v, B2v->B2m)
+Nitho's mIOU stays high with a near-zero drop while the image-to-image
+baselines drop substantially (DOINN loses ~17 mIOU points on average, TEMPO
+~22 in the paper).
+"""
+
+import numpy as np
+
+from repro.experiments.table4 import run_table4
+
+
+def test_table4_ood_generalisation(benchmark, preset, seed, record_output):
+    result = benchmark.pedantic(lambda: run_table4(preset, seed), rounds=1, iterations=1)
+
+    print("\n" + result["table"])
+    record_output("table4_ood", result["table"])
+
+    transfers = list(result["results"])
+    nitho_miou = np.mean([result["results"][t]["Nitho"]["miou"] for t in transfers])
+    doinn_miou = np.mean([result["results"][t]["DOINN"]["miou"] for t in transfers])
+    tempo_miou = np.mean([result["results"][t]["TEMPO"]["miou"] for t in transfers])
+
+    # Nitho generalises best on average.
+    assert nitho_miou > doinn_miou
+    assert nitho_miou > tempo_miou
+
+    # Nitho's OOD drop is smaller than the baselines' drop on average.
+    nitho_drop = np.mean([result["drops"][t]["Nitho"]["miou"] for t in transfers])
+    doinn_drop = np.mean([result["drops"][t]["DOINN"]["miou"] for t in transfers])
+    assert nitho_drop < doinn_drop + 1e-9

@@ -1,0 +1,25 @@
+"""repro — reproduction of "Physics-Informed Optical Kernel Regression Using
+Complex-valued Neural Fields" (Nitho, DAC 2023).
+
+Subpackages
+-----------
+``repro.nn``
+    Complex-valued autograd substrate (layers, optimizers) replacing PyTorch.
+``repro.optics``
+    Hopkins / TCC / SOCS partially-coherent imaging (golden simulator).
+``repro.masks``
+    Synthetic benchmark layouts, OPC and dataset assembly.
+``repro.core``
+    The Nitho model: kernel dimensioning, positional encodings, CMLP, training.
+``repro.baselines``
+    TEMPO- and DOINN-style image-to-image baselines.
+``repro.metrics`` / ``repro.analysis`` / ``repro.experiments``
+    Evaluation metrics, t-SNE / throughput tooling and per-table experiment drivers.
+"""
+
+from .core import NithoConfig, NithoModel
+from .optics import LithographySimulator, OpticsConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["NithoModel", "NithoConfig", "LithographySimulator", "OpticsConfig", "__version__"]

@@ -1,0 +1,186 @@
+"""Exact t-SNE embedding (Fig. 2a) implemented from scratch on NumPy.
+
+scikit-learn is not available offline, so this is a compact implementation of
+the original exact algorithm (perplexity-calibrated Gaussian affinities in the
+input space, Student-t affinities in the embedding, gradient descent with
+momentum and early exaggeration).  The sample counts used by the Fig. 2a
+reproduction are small (a few hundred tiles), so the O(N^2) cost is fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _pairwise_squared_distances(points: np.ndarray) -> np.ndarray:
+    squared = np.sum(points ** 2, axis=1)
+    distances = squared[:, None] + squared[None, :] - 2.0 * points @ points.T
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)
+
+
+def _binary_search_sigma(distances_row: np.ndarray, target_entropy: float,
+                         tolerance: float = 1e-5, max_iterations: int = 50) -> np.ndarray:
+    """Per-point precision (beta) search matching the desired perplexity."""
+    beta, beta_min, beta_max = 1.0, -np.inf, np.inf
+    probabilities = np.zeros_like(distances_row)
+    for _ in range(max_iterations):
+        exponent = np.exp(-distances_row * beta)
+        total = exponent.sum()
+        if total <= 0:
+            probabilities = np.zeros_like(distances_row)
+            entropy = 0.0
+        else:
+            probabilities = exponent / total
+            entropy = float(-np.sum(probabilities * np.log2(probabilities + 1e-12)))
+        difference = entropy - target_entropy
+        if abs(difference) < tolerance:
+            break
+        if difference > 0:
+            beta_min = beta
+            beta = beta * 2.0 if beta_max == np.inf else (beta + beta_max) / 2.0
+        else:
+            beta_max = beta
+            beta = beta / 2.0 if beta_min == -np.inf else (beta + beta_min) / 2.0
+    return probabilities
+
+
+def _joint_probabilities(features: np.ndarray, perplexity: float) -> np.ndarray:
+    count = len(features)
+    distances = _pairwise_squared_distances(features)
+    conditional = np.zeros((count, count))
+    target_entropy = np.log2(perplexity)
+    for i in range(count):
+        row = np.delete(distances[i], i)
+        probabilities = _binary_search_sigma(row, target_entropy)
+        conditional[i, np.arange(count) != i] = probabilities
+    joint = (conditional + conditional.T) / (2.0 * count)
+    return np.maximum(joint, 1e-12)
+
+
+@dataclass
+class TSNEResult:
+    """Embedding plus the dataset label of every embedded sample."""
+
+    embedding: np.ndarray
+    labels: Tuple[str, ...]
+
+    def by_label(self) -> Dict[str, np.ndarray]:
+        groups: Dict[str, list] = {}
+        for point, label in zip(self.embedding, self.labels):
+            groups.setdefault(label, []).append(point)
+        return {label: np.asarray(points) for label, points in groups.items()}
+
+
+class TSNE:
+    """Exact t-SNE with early exaggeration and momentum gradient descent."""
+
+    def __init__(self, perplexity: float = 15.0, iterations: int = 300,
+                 learning_rate: float = 100.0, seed: int = 0,
+                 early_exaggeration: float = 4.0):
+        if perplexity <= 1:
+            raise ValueError("perplexity must exceed 1")
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        self.perplexity = perplexity
+        self.iterations = iterations
+        self.learning_rate = learning_rate
+        self.seed = seed
+        self.early_exaggeration = early_exaggeration
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ValueError("features must be a (N, D) matrix")
+        count = len(features)
+        if count < 3:
+            raise ValueError("need at least 3 samples for t-SNE")
+        perplexity = min(self.perplexity, (count - 1) / 3.0)
+        perplexity = max(perplexity, 1.5)
+
+        joint = _joint_probabilities(features, perplexity)
+        rng = np.random.default_rng(self.seed)
+        embedding = rng.normal(scale=1e-2, size=(count, 2))
+        velocity = np.zeros_like(embedding)
+        exaggeration_steps = min(100, self.iterations // 4)
+
+        for step in range(self.iterations):
+            target = joint * (self.early_exaggeration if step < exaggeration_steps else 1.0)
+            distances = _pairwise_squared_distances(embedding)
+            student = 1.0 / (1.0 + distances)
+            np.fill_diagonal(student, 0.0)
+            q = np.maximum(student / student.sum(), 1e-12)
+
+            coefficient = (target - q) * student
+            gradient = 4.0 * ((np.diag(coefficient.sum(axis=1)) - coefficient) @ embedding)
+            momentum = 0.5 if step < exaggeration_steps else 0.8
+            velocity = momentum * velocity - self.learning_rate * gradient
+            embedding = embedding + velocity
+            embedding = embedding - embedding.mean(axis=0)
+        return embedding
+
+
+def mask_features(masks: np.ndarray, resolution: int = 16) -> np.ndarray:
+    """Low-resolution spectral-magnitude features of mask tiles (t-SNE input).
+
+    The magnitude of the centred spectrum is translation invariant, which makes
+    the embedding reflect the *distribution* of the layouts rather than the
+    random placement inside each tile.
+    """
+    from ..utils.imaging import fourier_resize
+
+    masks = np.asarray(masks, dtype=float)
+    if masks.ndim == 2:
+        masks = masks[None]
+    features = []
+    for mask in masks:
+        spectrum = np.abs(np.fft.fftshift(np.fft.fft2(mask, norm="ortho")))
+        reduced = fourier_resize(spectrum, (resolution, resolution))
+        features.append(reduced.ravel())
+    features = np.asarray(features)
+    scale = np.linalg.norm(features, axis=1, keepdims=True)
+    return features / np.maximum(scale, 1e-12)
+
+
+def embed_datasets(datasets: Dict[str, np.ndarray], samples_per_dataset: int = 40,
+                   seed: int = 0, **tsne_kwargs) -> TSNEResult:
+    """t-SNE embedding of mask samples drawn from several datasets (Fig. 2a)."""
+    rng = np.random.default_rng(seed)
+    collected = []
+    labels = []
+    for name, masks in datasets.items():
+        masks = np.asarray(masks)
+        if len(masks) == 0:
+            continue
+        take = min(samples_per_dataset, len(masks))
+        index = rng.permutation(len(masks))[:take]
+        collected.append(mask_features(masks[index]))
+        labels.extend([name] * take)
+    if not collected:
+        raise ValueError("no datasets with samples were provided")
+    features = np.concatenate(collected, axis=0)
+    embedding = TSNE(seed=seed, **tsne_kwargs).fit_transform(features)
+    return TSNEResult(embedding=embedding, labels=tuple(labels))
+
+
+def cluster_separation(result: TSNEResult) -> float:
+    """Ratio of mean inter-cluster to mean intra-cluster distance (> 1 means separated)."""
+    groups = result.by_label()
+    if len(groups) < 2:
+        return 1.0
+    centroids = {label: points.mean(axis=0) for label, points in groups.items()}
+    intra = []
+    for label, points in groups.items():
+        intra.append(np.mean(np.linalg.norm(points - centroids[label], axis=1)))
+    labels = list(centroids)
+    inter = []
+    for i, a in enumerate(labels):
+        for b in labels[i + 1:]:
+            inter.append(np.linalg.norm(centroids[a] - centroids[b]))
+    mean_intra = float(np.mean(intra))
+    if mean_intra <= 0:
+        return float("inf")
+    return float(np.mean(inter) / mean_intra)

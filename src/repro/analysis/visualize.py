@@ -1,0 +1,61 @@
+"""Lightweight visual dumps (Fig. 2b / Fig. 4) without matplotlib.
+
+Images are written as plain-text ASCII art or binary PGM files so results can
+be inspected in any environment.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Sequence
+
+import numpy as np
+
+from ..utils.imaging import normalize01
+
+_ASCII_LEVELS = " .:-=+*#%@"
+
+
+def ascii_image(image: np.ndarray, width: int = 64) -> str:
+    """Render an image as ASCII art (brighter pixels map to denser glyphs)."""
+    image = normalize01(np.asarray(image, dtype=float))
+    height = max(1, int(round(width * image.shape[0] / image.shape[1] / 2)))
+    rows = np.linspace(0, image.shape[0] - 1, height).astype(int)
+    cols = np.linspace(0, image.shape[1] - 1, width).astype(int)
+    sampled = image[np.ix_(rows, cols)]
+    indices = np.clip((sampled * (len(_ASCII_LEVELS) - 1)).round().astype(int),
+                      0, len(_ASCII_LEVELS) - 1)
+    return "\n".join("".join(_ASCII_LEVELS[i] for i in line) for line in indices)
+
+
+def write_pgm(image: np.ndarray, path: str) -> str:
+    """Write an image as an 8-bit binary PGM file; returns the path."""
+    image = normalize01(np.asarray(image, dtype=float))
+    data = (image * 255).astype(np.uint8)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    header = f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as handle:
+        handle.write(header)
+        handle.write(data.tobytes())
+    return path
+
+
+def comparison_panel(images: Dict[str, np.ndarray], width: int = 48) -> str:
+    """Stacked ASCII renderings with captions (one panel of Fig. 4)."""
+    panels = []
+    for caption, image in images.items():
+        panels.append(caption)
+        panels.append(ascii_image(image, width=width))
+        panels.append("")
+    return "\n".join(panels)
+
+
+def save_comparison_pgms(images: Dict[str, np.ndarray], directory: str,
+                         prefix: str = "panel") -> Dict[str, str]:
+    """Write every image of a comparison panel as a PGM file; returns name -> path."""
+    paths = {}
+    for caption, image in images.items():
+        safe = caption.lower().replace(" ", "_").replace("/", "-")
+        paths[caption] = write_pgm(image, os.path.join(directory, f"{prefix}_{safe}.pgm"))
+    return paths

@@ -1,0 +1,11 @@
+"""Image-to-image baseline models (substitutes for TEMPO and DOINN)."""
+
+from .common import ImageToImageModel
+from .doinn import DoinnModel, DoinnNetwork
+from .tempo import TempoDiscriminator, TempoGenerator, TempoModel
+
+__all__ = [
+    "ImageToImageModel",
+    "TempoModel", "TempoGenerator", "TempoDiscriminator",
+    "DoinnModel", "DoinnNetwork",
+]

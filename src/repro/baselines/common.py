@@ -1,0 +1,155 @@
+"""Shared training/inference harness for the image-to-image baseline models.
+
+TEMPO and DOINN are, for the purposes of the paper's comparison, real-valued
+networks that map a mask image directly to an aerial (or resist) image.  The
+:class:`ImageToImageModel` wrapper gives them the same ``fit`` /
+``predict_aerial`` / ``predict_resist`` interface as
+:class:`~repro.core.nitho.NithoModel`, so every experiment driver treats the
+three models uniformly.
+
+Substitution note: the published baselines train on 2000x2000 GPU tensors;
+here they train on ``work_resolution``-sized images (band-limited resampling)
+and their predictions are resampled back to full tile resolution before any
+metric is computed.  This preserves their inductive bias (image-to-image
+mapping learned from the training distribution) which is what the comparison
+is about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from ..optics.resist import ConstantThresholdResist
+from ..utils.imaging import fourier_resize
+
+
+class ImageToImageModel:
+    """Wrapper giving CNN baselines the common lithography-model interface."""
+
+    #: display name used by experiment tables ("TEMPO", "DOINN")
+    name = "baseline"
+
+    def __init__(self, network: nn.Module, work_resolution: int = 32,
+                 learning_rate: float = 2e-3, epochs: int = 40, batch_size: int = 4,
+                 resist_threshold: float = 0.225, seed: int = 0):
+        if work_resolution <= 0:
+            raise ValueError("work_resolution must be positive")
+        self.network = network
+        self.work_resolution = work_resolution
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.resist_model = ConstantThresholdResist(resist_threshold)
+        self.history: List[float] = []
+        self._tile_size: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # resolution handling
+    # ------------------------------------------------------------------ #
+    def _to_work(self, images: np.ndarray) -> np.ndarray:
+        images = np.asarray(images, dtype=float)
+        if images.ndim == 2:
+            images = images[None]
+        res = self.work_resolution
+        if images.shape[-1] == res:
+            return images
+        return np.stack([fourier_resize(img, (res, res)) for img in images], axis=0)
+
+    def _to_full(self, images: np.ndarray, tile_size: int) -> np.ndarray:
+        if images.shape[-1] == tile_size:
+            return images
+        return np.stack([fourier_resize(img, (tile_size, tile_size)) for img in images], axis=0)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def fit(self, masks: np.ndarray, aerials: np.ndarray,
+            epochs: Optional[int] = None, verbose: bool = False) -> List[float]:
+        """Train the network to map masks to aerial images (pixel-wise MSE)."""
+        masks = np.asarray(masks, dtype=float)
+        aerials = np.asarray(aerials, dtype=float)
+        if masks.ndim == 2:
+            masks = masks[None]
+        if aerials.ndim == 2:
+            aerials = aerials[None]
+        if len(masks) != len(aerials):
+            raise ValueError("mask / aerial count mismatch")
+        if len(masks) == 0:
+            raise ValueError("training set is empty")
+        self._tile_size = masks.shape[-1]
+
+        inputs = self._to_work(masks)[:, None, :, :]
+        targets = self._to_work(aerials)[:, None, :, :]
+
+        epochs = epochs or self.epochs
+        optimizer = nn.Adam(self.network.parameters(), lr=self.learning_rate)
+        scheduler = nn.CosineLR(optimizer, total_epochs=epochs, min_lr=0.1 * self.learning_rate)
+        rng = np.random.default_rng(self.seed)
+        count = len(inputs)
+        batch_size = min(self.batch_size, count)
+
+        history: List[float] = []
+        for epoch in range(epochs):
+            order = rng.permutation(count)
+            epoch_losses = []
+            for start in range(0, count, batch_size):
+                index = order[start:start + batch_size]
+                prediction = self.network(Tensor(inputs[index]))
+                loss = F.mse_loss(prediction, Tensor(targets[index]))
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                epoch_losses.append(float(loss.item()))
+            history.append(float(np.mean(epoch_losses)))
+            scheduler.step()
+            if verbose:
+                print(f"[{self.name}] epoch {epoch + 1:3d}/{epochs}  loss={history[-1]:.3e}")
+        self.history.extend(history)
+        return history
+
+    # ------------------------------------------------------------------ #
+    # inference
+    # ------------------------------------------------------------------ #
+    def predict_aerial(self, mask: np.ndarray) -> np.ndarray:
+        """Aerial-image prediction resampled back to the mask's resolution."""
+        mask = np.asarray(mask, dtype=float)
+        if mask.ndim != 2:
+            raise ValueError("mask must be a 2-D image")
+        tile_size = mask.shape[-1]
+        work = self._to_work(mask[None])[:, None, :, :]
+        self.network.eval()
+        prediction = self.network(Tensor(work)).data[0, 0]
+        self.network.train()
+        full = self._to_full(prediction[None], tile_size)[0]
+        # Clip after the band-limited resize: the interpolation can undershoot zero.
+        return np.clip(full, 0.0, None)
+
+    def predict_resist(self, mask: np.ndarray) -> np.ndarray:
+        return self.resist_model.develop(self.predict_aerial(mask))
+
+    def predict_batch(self, masks: np.ndarray) -> np.ndarray:
+        masks = np.asarray(masks, dtype=float)
+        if masks.ndim == 2:
+            masks = masks[None]
+        return np.stack([self.predict_aerial(mask) for mask in masks], axis=0)
+
+    # ------------------------------------------------------------------ #
+    # bookkeeping
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        return self.network.num_parameters()
+
+    def size_megabytes(self) -> float:
+        return self.network.size_megabytes()
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        return self.network.state_dict()
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        self.network.load_state_dict(state)

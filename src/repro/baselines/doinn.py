@@ -1,0 +1,62 @@
+"""DOINN-style baseline: dual-band optics-inspired network (FNO + CNN branches).
+
+DOINN (Yang et al., DAC 2022) combines a Fourier-neural-operator branch that
+captures the global low-frequency behaviour of the imaging system with a CNN
+branch for local high-frequency detail.  The substitute below keeps exactly
+that dual-band structure on top of the :mod:`repro.nn` substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+from .common import ImageToImageModel
+
+
+class DoinnNetwork(nn.Module):
+    """Dual-band network: spectral (FNO) branch + convolutional branch, fused by a head."""
+
+    def __init__(self, base_channels: int = 8, modes: int = 6, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        c = base_channels
+        # Lift the single-channel mask to a feature space.
+        self.lift = nn.Conv2d(1, c, kernel_size=1, stride=1, padding=0, rng=rng)
+        # Global branch: two spectral convolutions.
+        self.spectral1 = nn.SpectralConv2d(c, c, modes=modes, rng=rng)
+        self.spectral2 = nn.SpectralConv2d(c, c, modes=modes, rng=rng)
+        # Local branch: two 3x3 convolutions.
+        self.local1 = nn.Conv2d(c, c, kernel_size=3, stride=1, padding=1, rng=rng)
+        self.local2 = nn.Conv2d(c, c, kernel_size=3, stride=1, padding=1, rng=rng)
+        # Fusion head.
+        self.fuse = nn.Conv2d(2 * c, c, kernel_size=3, stride=1, padding=1, rng=rng)
+        self.head = nn.Conv2d(c, 1, kernel_size=1, stride=1, padding=0, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        features = F.relu(self.lift(x))
+        global_branch = F.relu(self.spectral1(features))
+        global_branch = F.relu(self.spectral2(global_branch))
+        local_branch = F.relu(self.local1(features))
+        local_branch = F.relu(self.local2(local_branch))
+        fused = F.concatenate([global_branch, local_branch], axis=1)
+        fused = F.relu(self.fuse(fused))
+        # Linear intensity head (see TempoGenerator.forward for the rationale).
+        return self.head(fused)
+
+
+class DoinnModel(ImageToImageModel):
+    """DOINN substitute with the common lithography-model interface."""
+
+    name = "DOINN"
+
+    def __init__(self, work_resolution: int = 32, base_channels: int = 8, modes: int = 6,
+                 learning_rate: float = 2e-3, epochs: int = 40, batch_size: int = 4,
+                 resist_threshold: float = 0.225, seed: int = 0):
+        network = DoinnNetwork(base_channels=base_channels, modes=modes, seed=seed)
+        super().__init__(network, work_resolution=work_resolution,
+                         learning_rate=learning_rate, epochs=epochs,
+                         batch_size=batch_size, resist_threshold=resist_threshold,
+                         seed=seed)

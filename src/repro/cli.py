@@ -1,0 +1,182 @@
+"""Command-line interface for the reproduction.
+
+Subcommands cover the typical library workflow without writing any Python:
+
+* ``generate``   — build one of the benchmark datasets and save it as ``.npz``,
+* ``train``      — train a Nitho model on a saved (or freshly built) dataset
+  and store its parameters as a checkpoint,
+* ``evaluate``   — evaluate a trained checkpoint on a dataset's test split,
+* ``simulate``   — run the golden simulator on a dataset's test masks and
+  report how well a checkpoint reproduces it (sanity check),
+* ``experiments``— run every table / figure driver (same as
+  ``python -m repro.experiments.runner``).
+
+Run ``python -m repro.cli <subcommand> --help`` for the options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from .core import NithoModel
+from .experiments import ExperimentConfig, run_all
+from .masks.datasets import LithoDataset, build_dataset
+from .masks.io import load_dataset, save_dataset
+from .metrics import aerial_metrics, resist_metrics
+from .nn.serialization import load_module, save_module
+from .optics.simulator import OpticsConfig
+
+
+def _dataset_from_args(arguments) -> LithoDataset:
+    if getattr(arguments, "dataset_file", None):
+        return load_dataset(arguments.dataset_file)
+    return build_dataset(arguments.dataset, preset=arguments.preset, seed=arguments.seed)
+
+
+def _model_for_dataset(dataset: LithoDataset, preset: str, seed: int) -> NithoModel:
+    config = ExperimentConfig(preset=preset, seed=seed)
+    optics = OpticsConfig(tile_size_px=dataset.tile_size_px,
+                          pixel_size_nm=dataset.pixel_size_nm)
+    return NithoModel(optics, config.nitho_config())
+
+
+def _print_metrics(label: str, metrics: dict) -> None:
+    print(f"{label}: " + "  ".join(f"{key}={value:.4g}" for key, value in metrics.items()))
+
+
+# --------------------------------------------------------------------------- #
+# subcommand implementations
+# --------------------------------------------------------------------------- #
+def command_generate(arguments) -> int:
+    dataset = build_dataset(arguments.dataset, preset=arguments.preset, seed=arguments.seed)
+    path = save_dataset(dataset, arguments.output)
+    print(f"wrote {dataset.name}: {dataset.num_train} train / {dataset.num_test} test tiles "
+          f"of {dataset.tile_size_px} px -> {path}")
+    return 0
+
+
+def command_train(arguments) -> int:
+    dataset = _dataset_from_args(arguments)
+    if dataset.num_train == 0:
+        print(f"dataset {dataset.name} has no training tiles", file=sys.stderr)
+        return 2
+    model = _model_for_dataset(dataset, arguments.preset, arguments.seed)
+    if arguments.epochs:
+        model.config.epochs = arguments.epochs
+    print(f"training Nitho on {dataset.name} "
+          f"({dataset.num_train} tiles, kernel window {model.kernel_shape}, "
+          f"{model.num_parameters()} parameters)")
+    history = model.fit(dataset.train_masks, dataset.train_aerials, verbose=arguments.verbose)
+    save_module(model.network, arguments.output)
+    print(f"final training loss {history[-1]:.4e}; checkpoint written to {arguments.output}")
+    return 0
+
+
+def command_evaluate(arguments) -> int:
+    dataset = _dataset_from_args(arguments)
+    model = _model_for_dataset(dataset, arguments.preset, arguments.seed)
+    load_module(model.network, arguments.checkpoint)
+    model.load_state_dict(model.network.state_dict())
+
+    predicted_aerials = model.predict_batch(dataset.test_masks)
+    predicted_resists = np.stack([model.predict_resist(m) for m in dataset.test_masks])
+    aerial = aerial_metrics(dataset.test_aerials, predicted_aerials)
+    resist = resist_metrics(dataset.test_resists, predicted_resists)
+    _print_metrics("aerial", aerial)
+    _print_metrics("resist", resist)
+    if arguments.json_output:
+        with open(arguments.json_output, "w", encoding="utf-8") as handle:
+            json.dump({"aerial": aerial, "resist": resist}, handle, indent=2)
+        print(f"metrics written to {arguments.json_output}")
+    return 0
+
+
+def command_simulate(arguments) -> int:
+    dataset = _dataset_from_args(arguments)
+    count = min(arguments.tiles, dataset.num_test) if arguments.tiles else dataset.num_test
+    masks = dataset.test_masks[:count]
+    golden = dataset.test_aerials[:count]
+    print(f"simulating {count} tiles of {dataset.name} at {dataset.tile_size_px} px")
+    consistency = aerial_metrics(golden, golden)
+    _print_metrics("golden self-consistency", consistency)
+    if arguments.checkpoint:
+        model = _model_for_dataset(dataset, arguments.preset, arguments.seed)
+        load_module(model.network, arguments.checkpoint)
+        model.load_state_dict(model.network.state_dict())
+        predicted = model.predict_batch(masks)
+        _print_metrics("checkpoint vs golden", aerial_metrics(golden, predicted))
+    return 0
+
+
+def command_experiments(arguments) -> int:
+    run_all(preset=arguments.preset, seed=arguments.seed,
+            include_ablations=not arguments.skip_ablations)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# argument parsing
+# --------------------------------------------------------------------------- #
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--preset", default="tiny", choices=("tiny", "small", "default"),
+                        help="experiment scale preset")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="build and save a benchmark dataset")
+    _add_common(generate)
+    generate.add_argument("--dataset", default="B1", choices=("B1", "B1opc", "B2m", "B2v"))
+    generate.add_argument("--output", required=True, help="output .npz path")
+    generate.set_defaults(handler=command_generate)
+
+    train = subparsers.add_parser("train", help="train Nitho and save a checkpoint")
+    _add_common(train)
+    train.add_argument("--dataset", default="B1", choices=("B1", "B2m", "B2v"))
+    train.add_argument("--dataset-file", help="load a dataset saved by 'generate' instead")
+    train.add_argument("--epochs", type=int, default=0, help="override the preset's epoch count")
+    train.add_argument("--output", required=True, help="checkpoint .npz path")
+    train.add_argument("--verbose", action="store_true")
+    train.set_defaults(handler=command_train)
+
+    evaluate = subparsers.add_parser("evaluate", help="evaluate a checkpoint on a dataset")
+    _add_common(evaluate)
+    evaluate.add_argument("--dataset", default="B1", choices=("B1", "B1opc", "B2m", "B2v"))
+    evaluate.add_argument("--dataset-file")
+    evaluate.add_argument("--checkpoint", required=True)
+    evaluate.add_argument("--json-output", help="also write the metrics as JSON")
+    evaluate.set_defaults(handler=command_evaluate)
+
+    simulate = subparsers.add_parser("simulate", help="golden simulation / checkpoint sanity check")
+    _add_common(simulate)
+    simulate.add_argument("--dataset", default="B1", choices=("B1", "B1opc", "B2m", "B2v"))
+    simulate.add_argument("--dataset-file")
+    simulate.add_argument("--checkpoint")
+    simulate.add_argument("--tiles", type=int, default=0, help="limit the number of tiles")
+    simulate.set_defaults(handler=command_simulate)
+
+    experiments = subparsers.add_parser("experiments", help="run every table / figure driver")
+    _add_common(experiments)
+    experiments.add_argument("--skip-ablations", action="store_true")
+    experiments.set_defaults(handler=command_experiments)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

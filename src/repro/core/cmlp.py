@@ -1,0 +1,92 @@
+"""Complex-valued multilayer perceptron (CMLP) for optical-kernel regression.
+
+Architecture (Eq. (12)):
+
+    CLinear -> (CLinear -> CReLU) x N -> CLinear
+
+The network maps positional-encoded kernel coordinates to ``r`` complex kernel
+values per coordinate; reshaping the output over the whole coordinate list
+yields the predicted optical kernel stack ``K_hat  in C^{r x n x m}``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+class CMLP(nn.Module):
+    """Coordinate-based complex MLP predicting ``num_kernels`` values per coordinate."""
+
+    def __init__(self, input_dim: int, hidden_dim: int = 64, num_hidden_blocks: int = 3,
+                 num_kernels: int = 12, seed: int = 0):
+        super().__init__()
+        if input_dim <= 0 or hidden_dim <= 0 or num_kernels <= 0:
+            raise ValueError("input_dim, hidden_dim and num_kernels must be positive")
+        if num_hidden_blocks < 0:
+            raise ValueError("num_hidden_blocks must be non-negative")
+        rng = np.random.default_rng(seed)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.num_hidden_blocks = num_hidden_blocks
+        self.num_kernels = num_kernels
+
+        layers = [nn.CLinear(input_dim, hidden_dim, rng=rng)]
+        for _ in range(num_hidden_blocks):
+            layers.append(nn.CLinear(hidden_dim, hidden_dim, rng=rng))
+            layers.append(nn.CReLU())
+        layers.append(nn.CLinear(hidden_dim, num_kernels, rng=rng))
+        self.network = nn.Sequential(*layers)
+
+    def forward(self, encoded_coordinates: Tensor) -> Tensor:
+        """Map ``(N, input_dim)`` complex features to ``(N, num_kernels)`` kernel values."""
+        return self.network(encoded_coordinates)
+
+    def predict_kernels(self, encoded_coordinates: Tensor,
+                        kernel_shape: Tuple[int, int]) -> Tensor:
+        """Return the kernel stack ``(num_kernels, n, m)`` for the full coordinate list."""
+        n, m = kernel_shape
+        values = self.forward(encoded_coordinates)          # (n*m, r)
+        if values.shape[0] != n * m:
+            raise ValueError(
+                f"coordinate count {values.shape[0]} does not match kernel window {n}x{m}")
+        stacked = F.transpose(values, (1, 0))               # (r, n*m)
+        return F.reshape(stacked, (self.num_kernels, n, m))
+
+
+class RealMLP(nn.Module):
+    """Real-valued MLP with the same topology, used by the complex-vs-real ablation.
+
+    It predicts the real and imaginary parts of each kernel value as two
+    separate real outputs, which doubles the head width but removes complex
+    arithmetic from the hidden layers.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int = 64, num_hidden_blocks: int = 3,
+                 num_kernels: int = 12, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.num_kernels = num_kernels
+        layers = [nn.Linear(input_dim, hidden_dim, rng=rng)]
+        for _ in range(num_hidden_blocks):
+            layers.append(nn.Linear(hidden_dim, hidden_dim, rng=rng))
+            layers.append(nn.ReLU())
+        layers.append(nn.Linear(hidden_dim, 2 * num_kernels, rng=rng))
+        self.network = nn.Sequential(*layers)
+
+    def forward(self, features: Tensor) -> Tensor:
+        return self.network(features)
+
+    def predict_kernels(self, features: Tensor, kernel_shape: Tuple[int, int]) -> Tensor:
+        n, m = kernel_shape
+        values = self.forward(features)                        # (n*m, 2r)
+        real_part = F.getitem(values, (slice(None), slice(0, self.num_kernels)))
+        imag_part = F.getitem(values, (slice(None), slice(self.num_kernels, 2 * self.num_kernels)))
+        complex_values = F.to_complex(real_part, imag_part)    # (n*m, r)
+        stacked = F.transpose(complex_values, (1, 0))
+        return F.reshape(stacked, (self.num_kernels, n, m))

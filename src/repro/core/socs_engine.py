@@ -1,0 +1,68 @@
+"""Kernel-bank forward-lithography engine ("fast lithography", Section III-C1).
+
+After training, Nitho's predicted kernels are stored exactly like calibrated
+TCC kernels; imaging new masks is then a handful of FFTs with no network
+inference.  This module provides that engine for *any* kernel bank — golden
+SOCS kernels from :mod:`repro.optics.socs` or learned kernels exported from a
+:class:`~repro.core.nitho.NithoModel` — so the same code path serves the
+simulator, the model and the throughput benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+from ..optics.aerial import aerial_from_kernels
+from ..optics.resist import ConstantThresholdResist
+
+
+class KernelBankEngine:
+    """Forward lithography from a fixed stack of frequency-domain kernels."""
+
+    def __init__(self, kernels: np.ndarray, resist_threshold: float = 0.225,
+                 tile_size_px: Optional[int] = None):
+        kernels = np.asarray(kernels)
+        if kernels.ndim != 3:
+            raise ValueError("kernels must have shape (r, n, m)")
+        self.kernels = kernels.astype(np.complex128)
+        self.resist_model = ConstantThresholdResist(resist_threshold)
+        self.tile_size_px = tile_size_px
+
+    @property
+    def order(self) -> int:
+        return self.kernels.shape[0]
+
+    @property
+    def kernel_shape(self) -> Tuple[int, int]:
+        return self.kernels.shape[1], self.kernels.shape[2]
+
+    def aerial(self, mask: np.ndarray) -> np.ndarray:
+        """Aerial image of one mask tile."""
+        mask = np.asarray(mask, dtype=float)
+        if self.tile_size_px is not None and mask.shape != (self.tile_size_px, self.tile_size_px):
+            raise ValueError(
+                f"mask shape {mask.shape} does not match engine tile {self.tile_size_px}")
+        return aerial_from_kernels(mask, self.kernels)
+
+    def resist(self, mask: np.ndarray) -> np.ndarray:
+        return self.resist_model.develop(self.aerial(mask))
+
+    def aerial_batch(self, masks: Iterable[np.ndarray]) -> np.ndarray:
+        return np.stack([self.aerial(mask) for mask in masks], axis=0)
+
+    def resist_batch(self, masks: Iterable[np.ndarray]) -> np.ndarray:
+        return np.stack([self.resist(mask) for mask in masks], axis=0)
+
+    def truncate(self, order: int) -> "KernelBankEngine":
+        """Return a new engine keeping only the first ``order`` kernels."""
+        if order <= 0:
+            raise ValueError("order must be positive")
+        return KernelBankEngine(self.kernels[:order],
+                                resist_threshold=self.resist_model.threshold,
+                                tile_size_px=self.tile_size_px)
+
+    def kernel_energy(self) -> np.ndarray:
+        """Per-kernel energy ``sum |K_i|^2`` — proportional to the SOCS eigenvalues."""
+        return np.sum(np.abs(self.kernels) ** 2, axis=(1, 2))

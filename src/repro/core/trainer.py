@@ -1,0 +1,92 @@
+"""Training loop for Nitho (Algorithm 1) with mini-batching and Adam.
+
+The trainer is deliberately small: the mask-dependent computations (FFT,
+crop) are pre-computed once because they carry no learnable parameters, and
+only the CMLP forward / SOCS combination is replayed every step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .. import nn
+from ..nn import functional as F
+from ..nn.tensor import Tensor
+
+
+class NithoTrainer:
+    """Runs Algorithm 1 on a :class:`~repro.core.nitho.NithoModel`."""
+
+    def __init__(self, model, optimizer: Optional[nn.Optimizer] = None):
+        self.model = model
+        self.optimizer = optimizer or nn.Adam(model.network.parameters(),
+                                              lr=model.config.learning_rate)
+        self._base_lr = self.optimizer.lr
+
+    def fit(self, masks: np.ndarray, aerials: np.ndarray,
+            epochs: Optional[int] = None, verbose: bool = False) -> List[float]:
+        """Train on mask/aerial pairs; returns the mean per-epoch MSE loss."""
+        config = self.model.config
+        epochs = epochs or config.epochs
+
+        masks = np.asarray(masks, dtype=float)
+        aerials = np.asarray(aerials, dtype=float)
+        if masks.ndim == 2:
+            masks = masks[None]
+        if aerials.ndim == 2:
+            aerials = aerials[None]
+        if len(masks) != len(aerials):
+            raise ValueError(f"got {len(masks)} masks but {len(aerials)} aerial images")
+        if len(masks) == 0:
+            raise ValueError("training set is empty")
+
+        spectra = self.model.prepare_spectra(masks)
+        targets = self.model.prepare_targets(aerials)
+
+        rng = np.random.default_rng(config.seed)
+        count = len(masks)
+        batch_size = min(config.batch_size, count)
+        history: List[float] = []
+        scheduler = None
+        if getattr(config, "lr_schedule", "cosine") == "cosine":
+            self.optimizer.lr = self._base_lr
+            scheduler = nn.CosineLR(self.optimizer, total_epochs=epochs,
+                                    min_lr=0.05 * self._base_lr)
+
+        for epoch in range(epochs):
+            order = rng.permutation(count)
+            epoch_losses = []
+            for start in range(0, count, batch_size):
+                index = order[start:start + batch_size]
+                batch_spectra = spectra[index]
+                batch_targets = Tensor(targets[index])
+
+                prediction = self.model.forward_aerial(batch_spectra)
+                loss = F.mse_loss(prediction, batch_targets)
+
+                self.optimizer.zero_grad()
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(float(loss.item()))
+            mean_loss = float(np.mean(epoch_losses))
+            history.append(mean_loss)
+            if scheduler is not None:
+                scheduler.step()
+            if verbose:
+                print(f"[nitho] epoch {epoch + 1:3d}/{epochs}  loss={mean_loss:.3e}")
+        return history
+
+    def evaluate(self, masks: np.ndarray, aerials: np.ndarray) -> float:
+        """Mean MSE at training resolution without updating parameters."""
+        masks = np.asarray(masks, dtype=float)
+        aerials = np.asarray(aerials, dtype=float)
+        if masks.ndim == 2:
+            masks = masks[None]
+        if aerials.ndim == 2:
+            aerials = aerials[None]
+        spectra = self.model.prepare_spectra(masks)
+        targets = self.model.prepare_targets(aerials)
+        prediction = self.model.forward_aerial(spectra)
+        return float(np.mean((prediction.data - targets) ** 2))

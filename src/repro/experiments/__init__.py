@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per table / figure of the paper's evaluation."""
+
+from .ablations import run_real_vs_complex_ablation, run_rff_sigma_ablation, run_socs_order_ablation
+from .config import ExperimentConfig, ModelBudgets, preset_from_environment
+from .context import MODEL_NAMES, ExperimentContext, get_context
+from .evaluation import evaluate_on_dataset
+from .extension_defocus import run_defocus_extension
+from .fig2 import run_fig2a, run_fig2b
+from .fig4 import run_fig4
+from .fig5 import run_fig5
+from .fig6 import run_fig6a, run_fig6b
+from .runner import run_all
+from .table1 import run_table1
+from .table2 import run_table2
+from .table3 import run_table3
+from .table4 import run_table4
+from .table5 import run_table5
+
+__all__ = [
+    "ExperimentConfig", "ModelBudgets", "preset_from_environment",
+    "ExperimentContext", "get_context", "MODEL_NAMES", "evaluate_on_dataset",
+    "run_table1", "run_table2", "run_table3", "run_table4", "run_table5",
+    "run_fig2a", "run_fig2b", "run_fig4", "run_fig5", "run_fig6a", "run_fig6b",
+    "run_socs_order_ablation", "run_real_vs_complex_ablation", "run_rff_sigma_ablation",
+    "run_defocus_extension", "run_all",
+]

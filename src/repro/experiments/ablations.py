@@ -1,0 +1,94 @@
+"""Additional ablations covering the design choices called out in DESIGN.md.
+
+These go beyond the paper's own ablation section:
+
+* SOCS truncation order — how many golden kernels are needed before the
+  aerial image stops improving (justifies the ``r < 60`` choice),
+* complex-valued vs. real-valued MLP head with identical budgets,
+* RFF encoding bandwidth (sigma) sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.reporting import render_series
+from ..core.socs_engine import KernelBankEngine
+from ..metrics import aerial_metrics, psnr
+from ..optics.simulator import LithographySimulator
+from .context import get_context
+
+
+def run_socs_order_ablation(preset: str = "tiny", seed: int = 0,
+                            orders: Sequence[int] = (1, 2, 4, 8, 16, 24),
+                            tiles: int = 3) -> Dict[str, object]:
+    """Aerial-image PSNR of truncated golden SOCS kernels vs. the full decomposition."""
+    context = get_context(preset, seed)
+    dataset = context.dataset("B1")
+    masks = dataset.test_masks[:max(1, tiles)]
+
+    simulator = LithographySimulator(context.config.optics_config())
+    full_bank = KernelBankEngine(simulator.kernels.kernels)
+    reference = np.stack([full_bank.aerial(mask) for mask in masks], axis=0)
+
+    usable_orders = [order for order in orders if order <= full_bank.order]
+    series = []
+    for order in usable_orders:
+        truncated = full_bank.truncate(order)
+        prediction = np.stack([truncated.aerial(mask) for mask in masks], axis=0)
+        series.append(aerial_metrics(reference, prediction)["psnr"])
+
+    return {
+        "orders": usable_orders,
+        "psnr_vs_full": series,
+        "full_order": full_bank.order,
+        "table": render_series({"order": usable_orders, "psnr": series}, x_label="point"),
+    }
+
+
+def run_real_vs_complex_ablation(preset: str = "tiny", seed: int = 0,
+                                 dataset_name: str = "B1",
+                                 max_eval_tiles: int = 0) -> Dict[str, object]:
+    """Train Nitho with a complex-valued and a real-valued MLP head and compare PSNR."""
+    context = get_context(preset, seed)
+    dataset = context.dataset(dataset_name)
+    test_masks = dataset.test_masks
+    test_aerials = dataset.test_aerials
+    if max_eval_tiles and len(test_masks) > max_eval_tiles:
+        test_masks = test_masks[:max_eval_tiles]
+        test_aerials = test_aerials[:max_eval_tiles]
+
+    results = {}
+    for label, real_valued in (("complex CMLP", False), ("real MLP", True)):
+        model = context.make_model("Nitho", real_valued_mlp=real_valued)
+        model.fit(dataset.train_masks, dataset.train_aerials)
+        predictions = np.stack([model.predict_aerial(m) for m in test_masks], axis=0)
+        results[label] = aerial_metrics(test_aerials, predictions)
+    return {"results": results}
+
+
+def run_rff_sigma_ablation(preset: str = "tiny", seed: int = 0, dataset_name: str = "B1",
+                           sigmas: Sequence[float] = (0.5, 1.5, 6.0),
+                           max_eval_tiles: int = 0) -> Dict[str, object]:
+    """PSNR as a function of the random-Fourier-feature bandwidth sigma."""
+    context = get_context(preset, seed)
+    dataset = context.dataset(dataset_name)
+    test_masks = dataset.test_masks
+    test_aerials = dataset.test_aerials
+    if max_eval_tiles and len(test_masks) > max_eval_tiles:
+        test_masks = test_masks[:max_eval_tiles]
+        test_aerials = test_aerials[:max_eval_tiles]
+
+    series = []
+    for sigma in sigmas:
+        model = context.make_model("Nitho", encoding_kwargs={"sigma": float(sigma)})
+        model.fit(dataset.train_masks, dataset.train_aerials)
+        predictions = np.stack([model.predict_aerial(m) for m in test_masks], axis=0)
+        series.append(aerial_metrics(test_aerials, predictions)["psnr"])
+    return {
+        "sigmas": list(sigmas),
+        "psnr": series,
+        "table": render_series({"sigma": list(sigmas), "psnr": series}, x_label="point"),
+    }

@@ -1,0 +1,48 @@
+"""Common evaluation helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..masks.datasets import LithoDataset
+from ..metrics import aerial_metrics, resist_metrics
+
+
+def evaluate_on_dataset(model, dataset: LithoDataset, max_tiles: int = 0) -> Dict[str, float]:
+    """Aerial and resist metrics of ``model`` on the test split of ``dataset``.
+
+    Parameters
+    ----------
+    max_tiles:
+        Evaluate at most this many test tiles (0 = all); the paper evaluates
+        every test tile but the large presets benefit from a cap.
+    """
+    masks = dataset.test_masks
+    aerials = dataset.test_aerials
+    resists = dataset.test_resists
+    if max_tiles and len(masks) > max_tiles:
+        masks, aerials, resists = masks[:max_tiles], aerials[:max_tiles], resists[:max_tiles]
+    if len(masks) == 0:
+        raise ValueError(f"dataset {dataset.name} has no test tiles")
+
+    predicted_aerials = np.stack([model.predict_aerial(mask) for mask in masks], axis=0)
+    predicted_resists = np.stack([model.predict_resist(mask) for mask in masks], axis=0)
+
+    metrics = {}
+    metrics.update(aerial_metrics(aerials, predicted_aerials))
+    metrics.update(resist_metrics(resists, predicted_resists))
+    return metrics
+
+
+def scaled_metrics_row(name: str, metrics: Dict[str, float]) -> Dict[str, object]:
+    """Format one table row with the units used in the paper (MSE x1e-5, ME x1e-2)."""
+    return {
+        "model": name,
+        "mse_x1e-5": metrics["mse"] * 1e5,
+        "me_x1e-2": metrics["me"] * 1e2,
+        "psnr_db": metrics["psnr"],
+        "mpa_pct": metrics["mpa"],
+        "miou_pct": metrics["miou"],
+    }

@@ -1,0 +1,55 @@
+"""Fig. 2 — dataset t-SNE (a) and qualitative OOD comparison (b)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis.tsne import TSNEResult, cluster_separation, embed_datasets
+from ..analysis.visualize import comparison_panel
+from ..metrics import resist_metrics
+from .context import MODEL_NAMES, get_context
+
+
+def run_fig2a(preset: str = "tiny", seed: int = 0, samples_per_dataset: int = 20,
+              iterations: int = 200) -> Dict[str, object]:
+    """t-SNE embedding of mask samples from B1, B1opc, B2m and B2v (Fig. 2a)."""
+    context = get_context(preset, seed)
+    datasets = {}
+    for name in ("B1", "B1opc", "B2m", "B2v"):
+        dataset = context.dataset(name)
+        masks = dataset.train_masks if dataset.num_train else dataset.test_masks
+        datasets[name] = masks
+    result = embed_datasets(datasets, samples_per_dataset=samples_per_dataset,
+                            seed=seed, iterations=iterations)
+    return {
+        "embedding": result,
+        "separation": cluster_separation(result),
+        "per_dataset_counts": {name: int(np.sum([lbl == name for lbl in result.labels]))
+                               for name in datasets},
+    }
+
+
+def run_fig2b(preset: str = "tiny", seed: int = 0, train_on: str = "B2v",
+              test_on: str = "B2m", tile_index: int = 0) -> Dict[str, object]:
+    """Qualitative OOD panel: predictions of models trained on ``train_on`` applied to ``test_on``."""
+    context = get_context(preset, seed)
+    test_dataset = context.dataset(test_on)
+    mask = test_dataset.test_masks[tile_index]
+    golden_resist = test_dataset.test_resists[tile_index]
+
+    panels = {"Mask": mask, "Ground truth": golden_resist}
+    scores = {}
+    for model_name in MODEL_NAMES:
+        model = context.trained_model(model_name, train_on)
+        predicted = model.predict_resist(mask)
+        panels[model_name] = predicted
+        scores[model_name] = resist_metrics(golden_resist, predicted)
+
+    return {
+        "panels": panels,
+        "scores": scores,
+        "ascii": comparison_panel(panels, width=48),
+        "transfer": f"{train_on}->{test_on}",
+    }

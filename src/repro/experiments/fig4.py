@@ -1,0 +1,47 @@
+"""Fig. 4 — visualisation of aerial- and resist-stage results per dataset.
+
+For one test tile of each dataset the panel shows: the mask, the golden resist
+image, the TEMPO / DOINN / Nitho resist predictions, and Nitho's aerial image.
+Panels are returned as arrays, ASCII art and (optionally) PGM files.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from ..analysis.visualize import comparison_panel, save_comparison_pgms
+from .context import MODEL_NAMES, get_context
+
+DEFAULT_DATASETS = ("B1", "B2m", "B2v")
+
+
+def run_fig4(preset: str = "tiny", seed: int = 0,
+             datasets: Sequence[str] = DEFAULT_DATASETS, tile_index: int = 0,
+             output_directory: Optional[str] = None) -> Dict[str, object]:
+    """Build the Fig. 4 comparison panels (one per dataset)."""
+    context = get_context(preset, seed)
+    panels: Dict[str, Dict[str, object]] = {}
+    for dataset_name in datasets:
+        dataset = context.dataset(dataset_name)
+        index = min(tile_index, dataset.num_test - 1)
+        mask = dataset.test_masks[index]
+        golden_resist = dataset.test_resists[index]
+
+        images = {"Mask": mask, "Resist GT": golden_resist}
+        for model_name in MODEL_NAMES:
+            model = context.trained_model(model_name, dataset_name)
+            images[model_name] = model.predict_resist(mask)
+        nitho = context.trained_model("Nitho", dataset_name)
+        images["Our aerial"] = nitho.predict_aerial(mask)
+
+        entry: Dict[str, object] = {
+            "images": images,
+            "ascii": comparison_panel(images, width=48),
+        }
+        if output_directory:
+            entry["files"] = save_comparison_pgms(
+                images, os.path.join(output_directory, dataset_name.lower()),
+                prefix=f"fig4_{dataset_name.lower()}")
+        panels[dataset_name] = entry
+    return {"panels": panels}

@@ -1,0 +1,75 @@
+"""Table I — model-size comparison and what each network models.
+
+The paper reports TEMPO ≈ 31 MB, DOINN ≈ 1.3 MB and Nitho ≈ 0.41 MB.  Two
+views are produced here:
+
+* ``paper_scale`` — models instantiated at (approximately) the published
+  capacities, to check the ~100:4:1 size ordering,
+* ``experiment_scale`` — the much smaller models actually trained by the
+  reproduction's experiments, to confirm the ordering survives the down-scaling.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.reporting import format_table
+from ..baselines import DoinnModel, TempoModel
+from ..core import NithoConfig, NithoModel
+from ..metrics import model_size_mb, parameter_count
+from ..optics.simulator import OpticsConfig
+from .config import ExperimentConfig
+from .context import get_context
+
+#: What each network learns, straight from the paper's Table I.
+NETWORK_MODELING = {
+    "TEMPO": "S(T * G(.))   (mask-to-aerial, cGAN)",
+    "DOINN": "H(S(T * G(.))) (mask-to-resist, FNO+CNN)",
+    "Nitho": "F(T)           (optical kernels, CMLP)",
+}
+
+
+def paper_scale_models() -> Dict[str, object]:
+    """Untrained models sized close to the published capacities."""
+    tempo = TempoModel(base_channels=160, work_resolution=64)
+    doinn = DoinnModel(base_channels=24, modes=12, work_resolution=64)
+    nitho = NithoModel(
+        OpticsConfig(tile_size_px=512, pixel_size_nm=4.0),
+        NithoConfig(num_kernels=24, hidden_dim=128, num_hidden_blocks=3,
+                    encoding_kwargs={"num_features": 128}))
+    return {"TEMPO": tempo, "DOINN": doinn, "Nitho": nitho}
+
+
+def run_table1(preset: str = "tiny", seed: int = 0, paper_scale: bool = True) -> Dict[str, object]:
+    """Build Table I: parameter counts, sizes in MB and size ratios."""
+    context = get_context(preset, seed)
+    experiment_models = {name: context.make_model(name) for name in ("TEMPO", "DOINN", "Nitho")}
+
+    scales = {"experiment_scale": experiment_models}
+    if paper_scale:
+        scales["paper_scale"] = paper_scale_models()
+
+    rows = []
+    results: Dict[str, object] = {}
+    for scale_name, models in scales.items():
+        nitho_params = parameter_count(models["Nitho"])
+        for model_name, model in models.items():
+            params = parameter_count(model)
+            rows.append({
+                "scale": scale_name,
+                "model": model_name,
+                "modeling": NETWORK_MODELING[model_name],
+                "parameters": params,
+                "size_mb": model_size_mb(model),
+                "ratio_to_nitho": params / nitho_params,
+            })
+        results[scale_name] = {
+            name: {"parameters": parameter_count(model), "size_mb": model_size_mb(model)}
+            for name, model in models.items()
+        }
+
+    results["rows"] = rows
+    results["table"] = format_table(
+        rows, columns=["scale", "model", "modeling", "parameters", "size_mb", "ratio_to_nitho"],
+        title="Table I - model size comparison")
+    return results

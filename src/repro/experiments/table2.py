@@ -1,0 +1,42 @@
+"""Table II — dataset inventory (train/test counts, tile geometry, litho engine)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.reporting import format_table
+from .context import get_context
+
+#: Tile / sample counts used by the paper, kept for reference in the output.
+PAPER_TABLE2 = {
+    "B1": {"train": 4875, "test": 10, "tile": "4 um^2", "engine": "Lithosim"},
+    "B1opc": {"train": 0, "test": 10, "tile": "4 um^2", "engine": "Lithosim"},
+    "B2m": {"train": 1000, "test": 300, "tile": "4 um^2", "engine": "Calibre"},
+    "B2v": {"train": 10000, "test": 10000, "tile": "4 um^2", "engine": "Calibre"},
+}
+
+
+def run_table2(preset: str = "tiny", seed: int = 0, include_opc: bool = True) -> Dict[str, object]:
+    """Build Table II for the reproduction's datasets (paper counts attached for context)."""
+    context = get_context(preset, seed)
+    names = ["B1", "B2m", "B2v"]
+    if include_opc:
+        names.insert(1, "B1opc")
+
+    rows = []
+    for name in names:
+        dataset = context.dataset(name)
+        row = dataset.describe()
+        paper = PAPER_TABLE2.get(name, {})
+        row["paper_train"] = paper.get("train", "-")
+        row["paper_test"] = paper.get("test", "-")
+        rows.append(row)
+
+    return {
+        "rows": rows,
+        "table": format_table(
+            rows,
+            columns=["dataset", "train", "test", "tile_px", "pixel_nm", "litho_engine",
+                     "paper_train", "paper_test"],
+            title="Table II - dataset inventory"),
+    }

@@ -1,0 +1,92 @@
+"""Table III — aerial and resist comparison of TEMPO / DOINN / Nitho per dataset.
+
+For every benchmark (B1, B2m, B2v and the merged B2m+B2v) the three models are
+trained on that benchmark's training tiles and evaluated on its test tiles.
+The expected shape: Nitho's MSE is one to two orders of magnitude below the
+baselines, its PSNR is the highest and its resist mPA / mIOU are the best.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.reporting import format_table
+from .context import MODEL_NAMES, get_context
+from .evaluation import evaluate_on_dataset
+
+DEFAULT_BENCHES = ("B1", "B2m", "B2v", "B2m+B2v")
+
+
+def run_table3(preset: str = "tiny", seed: int = 0,
+               benches: Sequence[str] = DEFAULT_BENCHES,
+               max_eval_tiles: int = 0) -> Dict[str, object]:
+    """Train and evaluate all models on every benchmark of Table III."""
+    context = get_context(preset, seed)
+
+    per_bench: Dict[str, Dict[str, Dict[str, float]]] = {}
+    rows = []
+    for bench in benches:
+        dataset = context.dataset(bench)
+        per_bench[bench] = {}
+        for model_name in MODEL_NAMES:
+            model = context.trained_model(model_name, bench)
+            metrics = evaluate_on_dataset(model, dataset, max_tiles=max_eval_tiles)
+            per_bench[bench][model_name] = metrics
+            rows.append({
+                "bench": bench,
+                "model": model_name,
+                "mse_x1e-5": metrics["mse"] * 1e5,
+                "me_x1e-2": metrics["me"] * 1e2,
+                "psnr_db": metrics["psnr"],
+                "mpa_pct": metrics["mpa"],
+                "miou_pct": metrics["miou"],
+            })
+
+    # Average row per model and the paper's "Ratio" row (relative to Nitho).
+    averages = {}
+    for model_name in MODEL_NAMES:
+        model_rows = [per_bench[bench][model_name] for bench in benches]
+        averages[model_name] = {
+            key: float(np.mean([row[key] for row in model_rows]))
+            for key in ("mse", "me", "psnr", "mpa", "miou")
+        }
+        rows.append({
+            "bench": "Average",
+            "model": model_name,
+            "mse_x1e-5": averages[model_name]["mse"] * 1e5,
+            "me_x1e-2": averages[model_name]["me"] * 1e2,
+            "psnr_db": averages[model_name]["psnr"],
+            "mpa_pct": averages[model_name]["mpa"],
+            "miou_pct": averages[model_name]["miou"],
+        })
+
+    nitho_avg = averages["Nitho"]
+    ratios = {}
+    for model_name in MODEL_NAMES:
+        ratios[model_name] = {
+            "mse": averages[model_name]["mse"] / max(nitho_avg["mse"], 1e-30),
+            "me": averages[model_name]["me"] / max(nitho_avg["me"], 1e-30),
+            "psnr": averages[model_name]["psnr"] / max(nitho_avg["psnr"], 1e-30),
+        }
+        rows.append({
+            "bench": "Ratio",
+            "model": model_name,
+            "mse_x1e-5": ratios[model_name]["mse"],
+            "me_x1e-2": ratios[model_name]["me"],
+            "psnr_db": ratios[model_name]["psnr"],
+            "mpa_pct": averages[model_name]["mpa"] / max(nitho_avg["mpa"], 1e-30),
+            "miou_pct": averages[model_name]["miou"] / max(nitho_avg["miou"], 1e-30),
+        })
+
+    return {
+        "per_bench": per_bench,
+        "averages": averages,
+        "ratios": ratios,
+        "rows": rows,
+        "table": format_table(
+            rows,
+            columns=["bench", "model", "mse_x1e-5", "me_x1e-2", "psnr_db", "mpa_pct", "miou_pct"],
+            title="Table III - comparison with state of the art"),
+    }

@@ -1,0 +1,144 @@
+"""Layout geometry primitives: rectangles, polygons and rasterisation.
+
+Masks in this reproduction are Manhattan layouts (as in the ICCAD-2013 and
+ISPD-2019 benchmarks); the primitives below are sufficient to describe them
+and to rasterise them onto the pixel grid consumed by the optics substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle in nanometre coordinates (x grows right, y grows down)."""
+
+    x: float
+    y: float
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("rectangle width and height must be positive")
+
+    @property
+    def x2(self) -> float:
+        return self.x + self.width
+
+    @property
+    def y2(self) -> float:
+        return self.y + self.height
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def centre(self) -> Tuple[float, float]:
+        return self.x + self.width / 2.0, self.y + self.height / 2.0
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (self.x2 <= other.x or other.x2 <= self.x
+                    or self.y2 <= other.y or other.y2 <= self.y)
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side (negative margins shrink)."""
+        new_width = self.width + 2 * margin
+        new_height = self.height + 2 * margin
+        if new_width <= 0 or new_height <= 0:
+            raise ValueError("expansion margin collapses the rectangle")
+        return Rect(self.x - margin, self.y - margin, new_width, new_height)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.width, self.height)
+
+    def clipped(self, extent: float) -> "Rect":
+        """Clip to the [0, extent) x [0, extent) tile; raises if fully outside."""
+        x1, y1 = max(self.x, 0.0), max(self.y, 0.0)
+        x2, y2 = min(self.x2, extent), min(self.y2, extent)
+        if x2 <= x1 or y2 <= y1:
+            raise ValueError("rectangle lies entirely outside the tile")
+        return Rect(x1, y1, x2 - x1, y2 - y1)
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """Rectilinear polygon given as a vertex list (used for L/T/U shaped metal)."""
+
+    vertices: Tuple[Tuple[float, float], ...]
+
+    def __post_init__(self) -> None:
+        if len(self.vertices) < 3:
+            raise ValueError("polygon needs at least three vertices")
+
+    def bounding_box(self) -> Rect:
+        xs = [v[0] for v in self.vertices]
+        ys = [v[1] for v in self.vertices]
+        return Rect(min(xs), min(ys), max(xs) - min(xs), max(ys) - min(ys))
+
+    def to_rects(self) -> List[Rect]:
+        """Decompose into rectangles by vertical slab sweep (rectilinear polygons only)."""
+        xs = sorted({v[0] for v in self.vertices})
+        rects: List[Rect] = []
+        for x1, x2 in zip(xs[:-1], xs[1:]):
+            mid = (x1 + x2) / 2.0
+            spans = _vertical_spans(self.vertices, mid)
+            for y1, y2 in spans:
+                rects.append(Rect(x1, y1, x2 - x1, y2 - y1))
+        return rects
+
+
+def _vertical_spans(vertices: Sequence[Tuple[float, float]], x: float) -> List[Tuple[float, float]]:
+    """Interior y-spans of a rectilinear polygon at abscissa ``x`` (ray casting on edges)."""
+    crossings: List[float] = []
+    count = len(vertices)
+    for i in range(count):
+        (x1, y1), (x2, y2) = vertices[i], vertices[(i + 1) % count]
+        if y1 == y2:  # horizontal edge: contributes a crossing if it spans x
+            lo, hi = min(x1, x2), max(x1, x2)
+            if lo <= x < hi:
+                crossings.append(y1)
+    crossings.sort()
+    spans = []
+    for i in range(0, len(crossings) - 1, 2):
+        spans.append((crossings[i], crossings[i + 1]))
+    return spans
+
+
+def rasterize(shapes: Iterable[Rect], tile_size_px: int, pixel_size_nm: float) -> np.ndarray:
+    """Rasterise rectangles onto a ``tile_size_px x tile_size_px`` binary mask.
+
+    A pixel is set when its centre falls inside a rectangle, matching the
+    sampling convention of the benchmark mask images.
+    """
+    if tile_size_px <= 0 or pixel_size_nm <= 0:
+        raise ValueError("tile size and pixel size must be positive")
+    mask = np.zeros((tile_size_px, tile_size_px), dtype=float)
+    extent = tile_size_px * pixel_size_nm
+    for shape in shapes:
+        try:
+            clipped = shape.clipped(extent)
+        except ValueError:
+            continue
+        col_start = int(np.ceil(clipped.x / pixel_size_nm - 0.5))
+        col_stop = int(np.floor(clipped.x2 / pixel_size_nm - 0.5)) + 1
+        row_start = int(np.ceil(clipped.y / pixel_size_nm - 0.5))
+        row_stop = int(np.floor(clipped.y2 / pixel_size_nm - 0.5)) + 1
+        col_start, row_start = max(col_start, 0), max(row_start, 0)
+        col_stop, row_stop = min(col_stop, tile_size_px), min(row_stop, tile_size_px)
+        if col_stop > col_start and row_stop > row_start:
+            mask[row_start:row_stop, col_start:col_stop] = 1.0
+    return mask
+
+
+def mask_density(mask: np.ndarray) -> float:
+    """Fraction of bright (pattern) pixels in a mask."""
+    mask = np.asarray(mask)
+    if mask.size == 0:
+        return 0.0
+    return float((mask > 0.5).mean())

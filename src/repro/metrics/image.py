@@ -1,0 +1,65 @@
+"""Aerial-image regression metrics: MSE, PSNR and maximum error (Eqs. (5), (6), (8))."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+
+def _validate(prediction: np.ndarray, target: np.ndarray) -> None:
+    if prediction.shape != target.shape:
+        raise ValueError(f"shape mismatch: prediction {prediction.shape} vs target {target.shape}")
+    if prediction.size == 0:
+        raise ValueError("empty arrays")
+
+
+def mse(target: np.ndarray, prediction: np.ndarray) -> float:
+    """Mean squared error (Eq. (5)); lower is better."""
+    target = np.asarray(target, dtype=float)
+    prediction = np.asarray(prediction, dtype=float)
+    _validate(prediction, target)
+    return float(np.mean((target - prediction) ** 2))
+
+
+def max_error(target: np.ndarray, prediction: np.ndarray) -> float:
+    """Maximum absolute error (Eq. (8)); lower is better."""
+    target = np.asarray(target, dtype=float)
+    prediction = np.asarray(prediction, dtype=float)
+    _validate(prediction, target)
+    return float(np.max(np.abs(target - prediction)))
+
+
+def psnr(target: np.ndarray, prediction: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (Eq. (6)); higher is better.
+
+    The peak is ``max(target)`` as in the paper.  A perfect prediction returns
+    ``inf``.
+    """
+    target = np.asarray(target, dtype=float)
+    prediction = np.asarray(prediction, dtype=float)
+    _validate(prediction, target)
+    error = mse(target, prediction)
+    peak = float(np.max(target))
+    if peak <= 0:
+        raise ValueError("PSNR undefined for an all-zero target image")
+    if error == 0:
+        return float("inf")
+    return float(10.0 * np.log10(peak ** 2 / error))
+
+
+def aerial_metrics(target: np.ndarray, prediction: np.ndarray) -> Dict[str, float]:
+    """All aerial-stage metrics in one call (batched inputs are averaged per-image)."""
+    target = np.asarray(target, dtype=float)
+    prediction = np.asarray(prediction, dtype=float)
+    if target.ndim == 2:
+        target, prediction = target[None], prediction[None]
+    per_image = [
+        {"mse": mse(t, p), "me": max_error(t, p), "psnr": psnr(t, p)}
+        for t, p in zip(target, prediction)
+    ]
+    return {
+        "mse": float(np.mean([m["mse"] for m in per_image])),
+        "me": float(np.mean([m["me"] for m in per_image])),
+        "psnr": float(np.mean([m["psnr"] for m in per_image])),
+    }

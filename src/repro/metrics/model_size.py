@@ -1,0 +1,33 @@
+"""Model-size accounting used by the Table I comparison."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..nn.layers import Module
+
+
+def parameter_count(model) -> int:
+    """Scalar parameter count of a model (complex parameters count as two scalars)."""
+    if isinstance(model, Module):
+        return model.num_parameters()
+    if hasattr(model, "num_parameters"):
+        return int(model.num_parameters())
+    raise TypeError(f"cannot count parameters of {type(model).__name__}")
+
+
+def model_size_mb(model, bytes_per_scalar: int = 4) -> float:
+    """Parameter storage in megabytes assuming ``bytes_per_scalar`` (default float32)."""
+    if bytes_per_scalar <= 0:
+        raise ValueError("bytes_per_scalar must be positive")
+    return parameter_count(model) * bytes_per_scalar / (1024 * 1024)
+
+
+def size_comparison(models: Dict[str, object]) -> Dict[str, Dict[str, float]]:
+    """Parameter counts and sizes for a dict of named models, plus ratios to the smallest."""
+    rows = {name: {"parameters": parameter_count(model), "size_mb": model_size_mb(model)}
+            for name, model in models.items()}
+    smallest = min(row["parameters"] for row in rows.values())
+    for row in rows.values():
+        row["ratio_to_smallest"] = row["parameters"] / smallest if smallest else float("inf")
+    return rows

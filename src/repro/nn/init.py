@@ -1,0 +1,53 @@
+"""Weight initialisation utilities for real- and complex-valued layers.
+
+Complex layers follow the variance-scaling scheme of Trabelsi et al.,
+"Deep Complex Networks": the magnitude is Rayleigh-distributed with mode
+``sigma = 1/sqrt(fan_in + fan_out)`` and the phase is uniform, which keeps the
+variance of activations stable through depth.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 2:
+        fan_in, fan_out = shape[0], shape[1]
+    elif len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        fan_in = fan_out = int(np.prod(shape))
+    return fan_in, fan_out
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Real-valued Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Real-valued He/Kaiming uniform initialisation (for ReLU networks)."""
+    fan_in, _ = _fans(shape)
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def complex_glorot(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Complex variance-scaling initialisation (Rayleigh magnitude, uniform phase)."""
+    fan_in, fan_out = _fans(shape)
+    sigma = 1.0 / np.sqrt(float(fan_in + fan_out))
+    magnitude = rng.rayleigh(scale=sigma, size=shape)
+    phase = rng.uniform(-np.pi, np.pi, size=shape)
+    return magnitude * np.exp(1j * phase)
+
+
+def zeros(shape: Tuple[int, ...], complex_valued: bool = False) -> np.ndarray:
+    dtype = np.complex128 if complex_valued else np.float64
+    return np.zeros(shape, dtype=dtype)

@@ -1,0 +1,26 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+
+def save_module(module: Module, path: str) -> None:
+    """Serialise a module's parameters to ``path`` (``.npz``)."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` (in place)."""
+    with np.load(path) as archive:
+        state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    module.load_state_dict(state)
+    return module

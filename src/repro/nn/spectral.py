@@ -1,0 +1,91 @@
+"""Spectral (Fourier neural operator) layers.
+
+DOINN's global low-frequency branch is an FNO: the input is transformed with
+an FFT, a learned complex weight multiplies the retained low-frequency modes,
+and the result is transformed back.  We implement the 2-D variant used by the
+baseline in :mod:`repro.baselines.doinn`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .layers import Module
+from .tensor import Tensor, as_tensor
+
+
+def spectral_conv2d(x, weight, modes: int) -> Tensor:
+    """Fourier-space channel mixing restricted to the ``modes`` lowest frequencies.
+
+    Parameters
+    ----------
+    x:
+        Real NCHW tensor.
+    weight:
+        Complex tensor of shape ``(in_channels, out_channels, 2 * modes, 2 * modes)``.
+    modes:
+        Number of retained frequencies per axis (positive and negative).
+    """
+    x = as_tensor(x)
+    weight = as_tensor(weight)
+    in_channels, out_channels = weight.shape[0], weight.shape[1]
+    height, width = x.shape[-2], x.shape[-1]
+    if 2 * modes > height or 2 * modes > width:
+        raise ValueError(f"modes={modes} too large for spatial size ({height}, {width})")
+
+    spectrum = F.fftshift2(F.fft2(F.to_complex(x)))
+    centre = F.crop_center(spectrum, 2 * modes, 2 * modes)  # (N, C, 2m, 2m)
+
+    # Mix channels per retained frequency: out[n, o, u, v] = sum_c in[n, c, u, v] * W[c, o, u, v]
+    batch = x.shape[0]
+    mixed_parts = []
+    for out_index in range(out_channels):
+        w_slice = F.getitem(weight, (slice(None), out_index))  # (C, 2m, 2m)
+        w_slice = F.reshape(w_slice, (1, in_channels, 2 * modes, 2 * modes))
+        prod = F.mul(centre, w_slice)
+        mixed_parts.append(F.sum(prod, axis=1))  # (N, 2m, 2m)
+    mixed = F.stack(mixed_parts, axis=1)  # (N, O, 2m, 2m)
+
+    # Embed the mixed low-frequency block back into a full-size spectrum.
+    pad_h = (height - 2 * modes) // 2
+    pad_w = (width - 2 * modes) // 2
+    full = F.pad2d(mixed, (pad_h, pad_w))
+    if full.shape[-2] != height or full.shape[-1] != width:
+        # Odd sizes leave one row/column short; pad asymmetrically with a crop-free embed.
+        extra_h = height - full.shape[-2]
+        extra_w = width - full.shape[-1]
+        full_data_shape = list(full.shape)
+        full_data_shape[-2] += extra_h
+        full_data_shape[-1] += extra_w
+        embedded = F.concatenate(
+            [full, Tensor(np.zeros(full.shape[:-2] + (extra_h, full.shape[-1]), dtype=np.complex128))],
+            axis=-2) if extra_h else full
+        embedded = F.concatenate(
+            [embedded, Tensor(np.zeros(embedded.shape[:-1] + (extra_w,), dtype=np.complex128))],
+            axis=-1) if extra_w else embedded
+        full = embedded
+    output = F.real(F.ifft2(F.ifftshift2(full)))
+    return output
+
+
+class SpectralConv2d(Module):
+    """Learnable FNO layer: FFT -> low-mode complex mixing -> inverse FFT."""
+
+    def __init__(self, in_channels: int, out_channels: int, modes: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.modes = modes
+        scale = 1.0 / (in_channels * out_channels)
+        real = rng.normal(scale=scale, size=(in_channels, out_channels, 2 * modes, 2 * modes))
+        imag = rng.normal(scale=scale, size=(in_channels, out_channels, 2 * modes, 2 * modes))
+        self.weight = self.register_parameter("weight", Tensor(real + 1j * imag))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return spectral_conv2d(x, self.weight, self.modes)

@@ -1,0 +1,84 @@
+"""Aerial-image formation from SOCS kernels (Eq. (4) / Eq. (9)).
+
+Two paths are provided:
+
+* a plain NumPy fast path used by the golden simulator and by Nitho's
+  post-training "fast lithography" mode, and
+* helper utilities shared with the differentiable training graph in
+  :mod:`repro.core.nitho`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .grid import crop_centre, embed_centre
+
+
+def mask_spectrum(mask: np.ndarray, kernel_shape: Optional[Tuple[int, int]] = None) -> np.ndarray:
+    """Centred 2-D spectrum of a mask image, optionally cropped to the kernel window.
+
+    Mirrors lines 6-7 of Algorithm 1: ``fftshift(fft2(M))`` followed by a
+    central crop to the optical-kernel dimensions.
+    """
+    spectrum = np.fft.fftshift(np.fft.fft2(mask, norm="ortho"), axes=(-2, -1))
+    if kernel_shape is not None:
+        spectrum = crop_centre(spectrum, kernel_shape[0], kernel_shape[1])
+    return spectrum
+
+
+def aerial_from_kernels(mask: np.ndarray, kernels: np.ndarray,
+                        output_shape: Optional[Tuple[int, int]] = None) -> np.ndarray:
+    """Aerial image ``sum_i |IFFT(K_i * F(M))|^2`` at full mask resolution.
+
+    Parameters
+    ----------
+    mask:
+        Real 2-D mask image (``H x W``).
+    kernels:
+        Complex array ``(r, n, m)`` of frequency-domain kernels (centred DC),
+        each already scaled by ``sqrt(eigenvalue)``.
+    output_shape:
+        Resolution of the returned aerial image; defaults to the mask shape.
+        The band-limited product is zero-embedded into this size before the
+        inverse FFT, which is an exact (sinc) interpolation.
+    """
+    if mask.ndim != 2:
+        raise ValueError("mask must be a 2-D image")
+    if kernels.ndim != 3:
+        raise ValueError("kernels must have shape (r, n, m)")
+    height, width = mask.shape if output_shape is None else output_shape
+    n, m = kernels.shape[-2], kernels.shape[-1]
+
+    spectrum = mask_spectrum(mask, (n, m))
+    products = kernels * spectrum[None, :, :]
+    embedded = embed_centre(products, height, width)
+    fields = np.fft.ifft2(np.fft.ifftshift(embedded, axes=(-2, -1)), norm="ortho")
+    return np.sum(np.abs(fields) ** 2, axis=0)
+
+
+def aerial_batch(masks: np.ndarray, kernels: np.ndarray) -> np.ndarray:
+    """Vectorised aerial computation for a batch of masks ``(B, H, W)``."""
+    if masks.ndim != 3:
+        raise ValueError("masks must have shape (B, H, W)")
+    return np.stack([aerial_from_kernels(mask, kernels) for mask in masks], axis=0)
+
+
+def normalize_aerial(aerial: np.ndarray, clear_field_intensity: float) -> np.ndarray:
+    """Scale an aerial image so a fully clear mask images to intensity 1.0."""
+    if clear_field_intensity <= 0:
+        raise ValueError("clear_field_intensity must be positive")
+    return aerial / clear_field_intensity
+
+
+def clear_field_intensity(kernels: np.ndarray, height: int, width: int) -> float:
+    """Peak intensity produced by an all-ones (fully transparent) mask.
+
+    Used to express aerial images in dimensionless exposure units so a single
+    resist threshold applies across tiles.
+    """
+    clear = np.ones((height, width))
+    aerial = aerial_from_kernels(clear, kernels)
+    return float(aerial.max())

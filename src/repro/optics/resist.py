@@ -1,0 +1,64 @@
+"""Resist models: constant-threshold binarisation and a smooth sigmoid variant.
+
+The paper obtains resist images by applying an exposure-dose-dependent
+intensity threshold to the aerial image; the sigmoid variant is provided for
+differentiable flows (e.g. the ILT pass of the OPC substrate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ConstantThresholdResist:
+    """Binary resist model ``Z = (I > threshold)``."""
+
+    threshold: float = 0.225
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError("resist threshold must be positive")
+
+    def develop(self, aerial: np.ndarray) -> np.ndarray:
+        """Binary resist pattern (1 = printed / exposed region)."""
+        return (aerial > self.threshold).astype(np.uint8)
+
+    def soft_develop(self, aerial: np.ndarray, steepness: float = 50.0) -> np.ndarray:
+        """Differentiable sigmoid approximation used by gradient-based OPC."""
+        return 1.0 / (1.0 + np.exp(-steepness * (aerial - self.threshold)))
+
+
+@dataclass(frozen=True)
+class VariableThresholdResist:
+    """Threshold modulated by the local image slope (simple VTR model).
+
+    A crude but common compact resist model: regions with a steeper aerial
+    image print at a slightly lower threshold.  Included so the dataset
+    generator can emulate the behaviour of a calibrated commercial resist
+    model rather than a purely constant threshold.
+    """
+
+    base_threshold: float = 0.225
+    slope_sensitivity: float = 0.02
+
+    def develop(self, aerial: np.ndarray) -> np.ndarray:
+        gy, gx = np.gradient(aerial)
+        slope = np.hypot(gx, gy)
+        slope_norm = slope / (slope.max() + 1e-12)
+        local_threshold = self.base_threshold * (1.0 - self.slope_sensitivity * slope_norm)
+        return (aerial > local_threshold).astype(np.uint8)
+
+
+def edge_placement_error(resist: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute disagreement between a printed pattern and its target (in pixels²).
+
+    A lightweight stand-in for EPE used by the OPC substrate's cost function.
+    """
+    resist = np.asarray(resist, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if resist.shape != target.shape:
+        raise ValueError("resist and target shapes differ")
+    return float(np.abs(resist - target).sum())

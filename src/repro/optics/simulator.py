@@ -1,0 +1,162 @@
+"""Facade tying source, pupil, TCC, SOCS and resist into one golden simulator.
+
+``LithographySimulator`` plays the role of the paper's ground-truth engines
+("Lithosim" for the ICCAD-2013 data, Mentor Calibre for the ISPD-2019 data):
+given a mask tile it produces the golden aerial and resist images that the
+learned models are trained against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from .aerial import aerial_from_kernels
+from .hopkins import abbe_aerial
+from .pupil import Pupil
+from .resist import ConstantThresholdResist
+from .socs import SOCSKernels, decompose_tcc
+from .source import AnnularSource, CircularSource, Source
+from .tcc import TCCResult, compute_tcc
+
+
+@dataclass(frozen=True)
+class OpticsConfig:
+    """Imaging-system description shared by the simulator and Nitho.
+
+    The defaults correspond to the paper's setup: ArF immersion lithography
+    with ``lambda = 193 nm`` and ``NA = 1.35``.
+    """
+
+    wavelength_nm: float = 193.0
+    numerical_aperture: float = 1.35
+    pixel_size_nm: float = 1.0
+    tile_size_px: int = 256
+    resist_threshold: float = 0.225
+    max_socs_order: Optional[int] = 24
+    defocus_nm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.wavelength_nm <= 0 or self.numerical_aperture <= 0:
+            raise ValueError("wavelength and NA must be positive")
+        if self.pixel_size_nm <= 0 or self.tile_size_px <= 0:
+            raise ValueError("pixel size and tile size must be positive")
+
+    @property
+    def field_size_nm(self) -> float:
+        """Physical extent of one tile."""
+        return self.pixel_size_nm * self.tile_size_px
+
+    def with_tile_size(self, tile_size_px: int) -> "OpticsConfig":
+        return replace(self, tile_size_px=tile_size_px)
+
+
+class LithographySimulator:
+    """Golden partially-coherent imaging engine (Hopkins TCC + SOCS).
+
+    Parameters
+    ----------
+    config:
+        Optical settings (wavelength, NA, pixel pitch, tile size, threshold).
+    source:
+        Illuminator; defaults to an annular source, typical for the metal /
+        via layers targeted by the paper's benchmarks.
+    pupil:
+        Projection pupil; defaults to an ideal NA-limited pupil (plus the
+        configured defocus, if any).
+    """
+
+    def __init__(self, config: Optional[OpticsConfig] = None,
+                 source: Optional[Source] = None,
+                 pupil: Optional[Pupil] = None):
+        self.config = config or OpticsConfig()
+        self.source = source or AnnularSource(sigma_inner=0.5, sigma_outer=0.8)
+        self.pupil = pupil or Pupil(defocus_nm=self.config.defocus_nm)
+        self.resist_model = ConstantThresholdResist(self.config.resist_threshold)
+        self._tcc: Optional[TCCResult] = None
+        self._kernels: Optional[SOCSKernels] = None
+
+    # ------------------------------------------------------------------ #
+    # kernel bank
+    # ------------------------------------------------------------------ #
+    @property
+    def kernel_shape(self) -> Tuple[int, int]:
+        """Optical-kernel window size from the resolution limit (Eq. (10))."""
+        from ..core.kernel_dims import kernel_dimensions
+
+        return kernel_dimensions(
+            self.config.tile_size_px, self.config.tile_size_px,
+            wavelength_nm=self.config.wavelength_nm,
+            numerical_aperture=self.config.numerical_aperture,
+            pixel_size_nm=self.config.pixel_size_nm)
+
+    @property
+    def tcc(self) -> TCCResult:
+        if self._tcc is None:
+            self._tcc = compute_tcc(
+                self.source, self.pupil, self.kernel_shape,
+                field_size_nm=self.config.field_size_nm,
+                wavelength_nm=self.config.wavelength_nm,
+                numerical_aperture=self.config.numerical_aperture)
+        return self._tcc
+
+    @property
+    def kernels(self) -> SOCSKernels:
+        if self._kernels is None:
+            self._kernels = decompose_tcc(self.tcc, max_order=self.config.max_socs_order)
+        return self._kernels
+
+    # ------------------------------------------------------------------ #
+    # imaging
+    # ------------------------------------------------------------------ #
+    def aerial(self, mask: np.ndarray) -> np.ndarray:
+        """Golden aerial image of a mask tile (SOCS fast path)."""
+        self._check_mask(mask)
+        return aerial_from_kernels(mask, self.kernels.kernels)
+
+    def aerial_rigorous(self, mask: np.ndarray) -> np.ndarray:
+        """Aerial image via direct Abbe summation (slow reference path)."""
+        self._check_mask(mask)
+        return abbe_aerial(mask, self.source, self.pupil,
+                           field_size_nm=self.config.field_size_nm,
+                           wavelength_nm=self.config.wavelength_nm,
+                           numerical_aperture=self.config.numerical_aperture)
+
+    def resist(self, mask: np.ndarray) -> np.ndarray:
+        """Golden binary resist image of a mask tile."""
+        return self.resist_model.develop(self.aerial(mask))
+
+    def simulate(self, mask: np.ndarray) -> Dict[str, np.ndarray]:
+        """Return mask, aerial and resist images for one tile."""
+        aerial = self.aerial(mask)
+        return {
+            "mask": np.asarray(mask, dtype=float),
+            "aerial": aerial,
+            "resist": self.resist_model.develop(aerial),
+        }
+
+    def _check_mask(self, mask: np.ndarray) -> None:
+        mask = np.asarray(mask)
+        if mask.ndim != 2:
+            raise ValueError("mask must be a 2-D image")
+        expected = (self.config.tile_size_px, self.config.tile_size_px)
+        if mask.shape != expected:
+            raise ValueError(f"mask shape {mask.shape} does not match configured tile {expected}")
+
+
+def lithosim_engine(tile_size_px: int = 256, pixel_size_nm: float = 4.0) -> LithographySimulator:
+    """Preset mimicking the ICCAD-2013 'Lithosim' engine (conventional circular source)."""
+    config = OpticsConfig(tile_size_px=tile_size_px, pixel_size_nm=pixel_size_nm,
+                          resist_threshold=0.225)
+    return LithographySimulator(config=config, source=CircularSource(sigma=0.6))
+
+
+def calibre_like_engine(tile_size_px: int = 256, pixel_size_nm: float = 4.0,
+                        defocus_nm: float = 0.0) -> LithographySimulator:
+    """Preset mimicking the commercial engine used for the ISPD-2019 layers (annular source)."""
+    config = OpticsConfig(tile_size_px=tile_size_px, pixel_size_nm=pixel_size_nm,
+                          resist_threshold=0.225, defocus_nm=defocus_nm)
+    return LithographySimulator(config=config,
+                                source=AnnularSource(sigma_inner=0.6, sigma_outer=0.9))

@@ -1,0 +1,115 @@
+"""Sum of Coherent Systems (SOCS) decomposition of the TCC (Eqs. (3)-(4)).
+
+The TCC matrix is Hermitian positive semi-definite; its eigendecomposition
+yields coherent kernels.  Truncating the expansion to the ``r`` largest
+eigenvalues gives the fast approximation used both by production OPC tools
+and by the Nitho training target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .tcc import TCCResult
+
+
+@dataclass(frozen=True)
+class SOCSKernels:
+    """Coherent optical kernels in the spatial-frequency domain.
+
+    Attributes
+    ----------
+    kernels:
+        Array of shape ``(r, n, m)``; kernel ``i`` already includes
+        ``sqrt(eigenvalue_i)`` so the aerial image is simply
+        ``sum_i |IFFT(kernels[i] * mask_spectrum)|^2``.
+    eigenvalues:
+        The ``r`` retained eigenvalues (descending, non-negative).
+    """
+
+    kernels: np.ndarray
+    eigenvalues: np.ndarray
+    kernel_shape: Tuple[int, int]
+
+    @property
+    def order(self) -> int:
+        return self.kernels.shape[0]
+
+    def energy_captured(self) -> float:
+        """Fraction of total TCC energy captured by the retained kernels (0..1]."""
+        total = float(self.eigenvalues.sum()) if self.eigenvalues.size else 0.0
+        if self._total_energy <= 0:
+            return 1.0
+        return total / self._total_energy
+
+    # populated by decompose_tcc via object.__setattr__ (frozen dataclass)
+    _total_energy: float = 0.0
+
+
+def decompose_tcc(tcc: TCCResult, max_order: Optional[int] = None,
+                  energy_tolerance: float = 1e-9) -> SOCSKernels:
+    """Eigendecompose a TCC matrix into SOCS kernels.
+
+    Parameters
+    ----------
+    max_order:
+        Keep at most this many kernels.  ``None`` keeps every kernel whose
+        eigenvalue exceeds ``energy_tolerance`` times the largest one.
+    energy_tolerance:
+        Relative eigenvalue threshold below which kernels are discarded.
+    """
+    eigenvalues, eigenvectors = np.linalg.eigh(tcc.matrix)
+    # eigh returns ascending order; we want the dominant kernels first.
+    order = np.argsort(eigenvalues)[::-1]
+    eigenvalues = eigenvalues[order]
+    eigenvectors = eigenvectors[:, order]
+
+    # Numerical noise can produce tiny negative eigenvalues; clamp them.
+    eigenvalues = np.clip(eigenvalues, 0.0, None)
+    total_energy = float(eigenvalues.sum())
+
+    if eigenvalues.size and eigenvalues[0] > 0:
+        keep = eigenvalues > energy_tolerance * eigenvalues[0]
+    else:
+        keep = np.zeros_like(eigenvalues, dtype=bool)
+    count = int(keep.sum())
+    if max_order is not None:
+        count = min(count, int(max_order))
+    count = max(count, 1)
+
+    n, m = tcc.kernel_shape
+    kept_values = eigenvalues[:count]
+    kept_vectors = eigenvectors[:, :count]
+    kernels = (np.sqrt(kept_values)[None, :] * kept_vectors).T.reshape(count, n, m)
+
+    result = SOCSKernels(kernels=kernels, eigenvalues=kept_values, kernel_shape=(n, m))
+    object.__setattr__(result, "_total_energy", total_energy)
+    return result
+
+
+def truncation_error_bound(tcc: TCCResult, order: int) -> float:
+    """Upper bound on the relative aerial-intensity error of an ``order``-term SOCS.
+
+    Following Pati & Kailath, the worst-case intensity error of truncating the
+    coherent decomposition is bounded by the sum of the discarded eigenvalues
+    relative to the total (the trace of the TCC).
+    """
+    eigenvalues = np.clip(np.sort(np.linalg.eigvalsh(tcc.matrix))[::-1], 0.0, None)
+    total = float(eigenvalues.sum())
+    if total <= 0:
+        return 0.0
+    discarded = float(eigenvalues[order:].sum()) if order < eigenvalues.size else 0.0
+    return discarded / total
+
+
+def kernels_from_matrix(matrix: np.ndarray, kernel_shape: Tuple[int, int],
+                        max_order: Optional[int] = None) -> SOCSKernels:
+    """Convenience wrapper decomposing an explicit Hermitian matrix."""
+    from .grid import make_grid  # local import to avoid a cycle at module load
+
+    dummy_grid = make_grid(kernel_shape[0], kernel_shape[1], 1000.0, 193.0, 1.35)
+    tcc = TCCResult(matrix=matrix, kernel_shape=kernel_shape, grid=dummy_grid)
+    return decompose_tcc(tcc, max_order=max_order)

@@ -1,0 +1,128 @@
+"""Illumination source models (the ``J`` term of the Hopkins TCC, Eq. (2)).
+
+Each source produces a non-negative intensity map sampled on a normalised
+frequency grid (pupil cut-off = 1).  Conventional, annular, dipole and
+quadrupole (CQuad) illuminators are provided, plus a free-form pixelated
+source for SMO-style experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .grid import FrequencyGrid
+
+
+class Source:
+    """Base class: subclasses fill in :meth:`intensity`."""
+
+    def intensity(self, grid: FrequencyGrid) -> np.ndarray:
+        """Return the source intensity ``J`` sampled on ``grid`` (non-negative)."""
+        raise NotImplementedError
+
+    def normalized_intensity(self, grid: FrequencyGrid) -> np.ndarray:
+        """Intensity scaled to unit total power (zero maps stay zero)."""
+        raw = np.maximum(self.intensity(grid), 0.0)
+        total = raw.sum()
+        if total <= 0:
+            raise ValueError(f"{type(self).__name__} produced an all-zero source map on this grid")
+        return raw / total
+
+
+@dataclass
+class CircularSource(Source):
+    """Conventional partially-coherent disk source of coherence factor ``sigma``."""
+
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sigma <= 1.0:
+            raise ValueError("sigma must be in (0, 1]")
+
+    def intensity(self, grid: FrequencyGrid) -> np.ndarray:
+        return (grid.radius <= self.sigma).astype(float)
+
+
+@dataclass
+class AnnularSource(Source):
+    """Annular illuminator between ``sigma_inner`` and ``sigma_outer``."""
+
+    sigma_inner: float = 0.5
+    sigma_outer: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.sigma_inner < self.sigma_outer <= 1.0:
+            raise ValueError("require 0 <= sigma_inner < sigma_outer <= 1")
+
+    def intensity(self, grid: FrequencyGrid) -> np.ndarray:
+        radius = grid.radius
+        return ((radius >= self.sigma_inner) & (radius <= self.sigma_outer)).astype(float)
+
+
+@dataclass
+class DipoleSource(Source):
+    """Two circular poles on the x axis (or y axis when ``vertical``)."""
+
+    centre: float = 0.6
+    pole_radius: float = 0.2
+    vertical: bool = False
+
+    def intensity(self, grid: FrequencyGrid) -> np.ndarray:
+        axis_major = grid.fy if self.vertical else grid.fx
+        axis_minor = grid.fx if self.vertical else grid.fy
+        left = np.hypot(axis_major - self.centre, axis_minor) <= self.pole_radius
+        right = np.hypot(axis_major + self.centre, axis_minor) <= self.pole_radius
+        return (left | right).astype(float)
+
+
+@dataclass
+class QuadrupoleSource(Source):
+    """Four poles at 45 degrees (CQuad / cross-quad illumination)."""
+
+    centre: float = 0.6
+    pole_radius: float = 0.2
+
+    def intensity(self, grid: FrequencyGrid) -> np.ndarray:
+        offset = self.centre / np.sqrt(2.0)
+        result = np.zeros(grid.shape, dtype=float)
+        for sx in (-1.0, 1.0):
+            for sy in (-1.0, 1.0):
+                result += (np.hypot(grid.fx - sx * offset, grid.fy - sy * offset)
+                           <= self.pole_radius)
+        return (result > 0).astype(float)
+
+
+class PixelatedSource(Source):
+    """Free-form source defined by an explicit intensity map on the grid."""
+
+    def __init__(self, pixels: np.ndarray):
+        pixels = np.asarray(pixels, dtype=float)
+        if pixels.ndim != 2:
+            raise ValueError("pixelated source must be a 2-D map")
+        if (pixels < 0).any():
+            raise ValueError("source intensities must be non-negative")
+        self.pixels = pixels
+
+    def intensity(self, grid: FrequencyGrid) -> np.ndarray:
+        if self.pixels.shape != grid.shape:
+            raise ValueError(
+                f"pixelated source shape {self.pixels.shape} does not match grid {grid.shape}")
+        return self.pixels
+
+
+def make_source(name: str, **kwargs) -> Source:
+    """Factory used by configuration files: ``circular``, ``annular``, ``dipole``, ``quadrupole``."""
+    registry = {
+        "circular": CircularSource,
+        "annular": AnnularSource,
+        "dipole": DipoleSource,
+        "quadrupole": QuadrupoleSource,
+    }
+    try:
+        cls = registry[name.lower()]
+    except KeyError as exc:
+        raise ValueError(f"unknown source type '{name}', expected one of {sorted(registry)}") from exc
+    return cls(**kwargs)

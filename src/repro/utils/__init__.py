@@ -1,0 +1,5 @@
+"""Small shared utilities (band-limited resizing, batching, binarisation)."""
+
+from .imaging import area_downsample, binarize, fourier_resize, normalize01, to_batch
+
+__all__ = ["fourier_resize", "area_downsample", "binarize", "normalize01", "to_batch"]

@@ -1,0 +1,78 @@
+"""Image-resolution utilities shared by datasets, baselines and the Nitho trainer.
+
+The central tool is band-limited (Fourier) resizing: golden aerial images are
+band-limited by construction, so cropping or zero-padding their spectra is an
+exact change of sampling resolution.  Binary masks and resist patterns are
+resized with area pooling / nearest neighbour instead, to stay binary.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def fourier_resize(image: np.ndarray, output_shape: Tuple[int, int]) -> np.ndarray:
+    """Resize a real image by cropping / zero-padding its centred spectrum.
+
+    Pixel values are preserved (the DC component is untouched) because the
+    transform pair uses ``norm="forward"``.
+    """
+    image = np.asarray(image, dtype=float)
+    if image.ndim != 2:
+        raise ValueError("fourier_resize expects a 2-D image")
+    out_h, out_w = output_shape
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError("output_shape entries must be positive")
+    in_h, in_w = image.shape
+    if (out_h, out_w) == (in_h, in_w):
+        return image.copy()
+
+    spectrum = np.fft.fftshift(np.fft.fft2(image, norm="forward"))
+    resized = np.zeros((out_h, out_w), dtype=complex)
+
+    crop_h, crop_w = min(in_h, out_h), min(in_w, out_w)
+    src_top = in_h // 2 - crop_h // 2
+    src_left = in_w // 2 - crop_w // 2
+    dst_top = out_h // 2 - crop_h // 2
+    dst_left = out_w // 2 - crop_w // 2
+    resized[dst_top:dst_top + crop_h, dst_left:dst_left + crop_w] = (
+        spectrum[src_top:src_top + crop_h, src_left:src_left + crop_w])
+    return np.real(np.fft.ifft2(np.fft.ifftshift(resized), norm="forward"))
+
+
+def area_downsample(image: np.ndarray, factor: int) -> np.ndarray:
+    """Downsample by integer ``factor`` using block averaging (keeps mask coverage)."""
+    image = np.asarray(image, dtype=float)
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    if factor == 1:
+        return image.copy()
+    height, width = image.shape
+    if height % factor or width % factor:
+        raise ValueError(f"image shape {image.shape} not divisible by factor {factor}")
+    reshaped = image.reshape(height // factor, factor, width // factor, factor)
+    return reshaped.mean(axis=(1, 3))
+
+
+def binarize(image: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Threshold an image to {0, 1} with values above ``threshold`` mapping to 1."""
+    return (np.asarray(image, dtype=float) > threshold).astype(np.uint8)
+
+
+def normalize01(image: np.ndarray) -> np.ndarray:
+    """Linearly map an image to [0, 1]; constant images map to zeros."""
+    image = np.asarray(image, dtype=float)
+    lo, hi = float(image.min()), float(image.max())
+    if hi - lo <= 0:
+        return np.zeros_like(image)
+    return (image - lo) / (hi - lo)
+
+
+def to_batch(images) -> np.ndarray:
+    """Stack a list of equally-sized 2-D images into a (B, H, W) array."""
+    batch = np.stack([np.asarray(img, dtype=float) for img in images], axis=0)
+    if batch.ndim != 3:
+        raise ValueError("expected a list of 2-D images")
+    return batch

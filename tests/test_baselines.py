@@ -1,0 +1,128 @@
+"""Tests for the TEMPO / DOINN baseline substitutes (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DoinnModel, DoinnNetwork, ImageToImageModel, TempoGenerator, TempoModel
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(31)
+
+
+def small_tempo(**kwargs):
+    defaults = dict(work_resolution=16, base_channels=4, epochs=25, learning_rate=3e-3, seed=0)
+    defaults.update(kwargs)
+    return TempoModel(**defaults)
+
+
+def small_doinn(**kwargs):
+    defaults = dict(work_resolution=16, base_channels=4, modes=4, epochs=25,
+                    learning_rate=3e-3, seed=0)
+    defaults.update(kwargs)
+    return DoinnModel(**defaults)
+
+
+class TestNetworks:
+    def test_tempo_generator_shape(self):
+        network = TempoGenerator(base_channels=4)
+        out = network(Tensor(RNG.random((2, 1, 16, 16))))
+        assert out.shape == (2, 1, 16, 16)
+
+    def test_doinn_network_shape(self):
+        network = DoinnNetwork(base_channels=4, modes=4)
+        out = network(Tensor(RNG.random((2, 1, 16, 16))))
+        assert out.shape == (2, 1, 16, 16)
+
+    def test_model_names(self):
+        assert small_tempo().name == "TEMPO"
+        assert small_doinn().name == "DOINN"
+
+    def test_parameter_counts_positive(self):
+        assert small_tempo().num_parameters() > 0
+        assert small_doinn().num_parameters() > 0
+        assert small_tempo().size_megabytes() > 0
+
+
+class TestTrainingInterface:
+    @pytest.fixture(scope="class")
+    def training_data(self, request):
+        tiny_masks = request.getfixturevalue("tiny_masks")
+        tiny_aerials = request.getfixturevalue("tiny_aerials")
+        return tiny_masks, tiny_aerials
+
+    def test_invalid_work_resolution(self):
+        with pytest.raises(ValueError):
+            ImageToImageModel(TempoGenerator(2), work_resolution=0)
+
+    def test_fit_validates_inputs(self, training_data):
+        masks, aerials = training_data
+        model = small_tempo()
+        with pytest.raises(ValueError):
+            model.fit(masks[:2], aerials[:1])
+        with pytest.raises(ValueError):
+            model.fit(masks[:0], aerials[:0])
+
+    def test_tempo_training_reduces_loss(self, training_data):
+        masks, aerials = training_data
+        model = small_tempo()
+        history = model.fit(masks, aerials)
+        assert history[-1] < 0.5 * history[0]
+
+    def test_doinn_training_reduces_loss(self, training_data):
+        masks, aerials = training_data
+        model = small_doinn()
+        history = model.fit(masks, aerials)
+        assert history[-1] < 0.5 * history[0]
+
+    def test_prediction_interface(self, training_data):
+        masks, aerials = training_data
+        model = small_doinn()
+        model.fit(masks, aerials, epochs=10)
+        aerial = model.predict_aerial(masks[0])
+        assert aerial.shape == masks[0].shape
+        assert np.all(aerial >= 0.0)
+        resist = model.predict_resist(masks[0])
+        assert set(np.unique(resist)).issubset({0, 1})
+        batch = model.predict_batch(masks[:2])
+        assert batch.shape == (2, *masks[0].shape)
+
+    def test_predict_rejects_non_2d(self, training_data):
+        masks, aerials = training_data
+        model = small_tempo()
+        model.fit(masks[:2], aerials[:2], epochs=2)
+        with pytest.raises(ValueError):
+            model.predict_aerial(masks)
+
+    def test_state_dict_roundtrip(self, training_data):
+        masks, aerials = training_data
+        model = small_tempo()
+        model.fit(masks[:2], aerials[:2], epochs=3)
+        clone = small_tempo()
+        clone.fit(masks[:2], aerials[:2], epochs=1)
+        clone.load_state_dict(model.state_dict())
+        np.testing.assert_allclose(clone.predict_aerial(masks[0]), model.predict_aerial(masks[0]))
+
+    def test_baseline_worse_than_nitho_on_unseen_family(self, training_data, tiny_simulator,
+                                                        tiny_via_masks, trained_tiny_nitho):
+        """The paper's central comparison: the image-to-image baseline degrades on an
+        unseen mask family while Nitho holds up."""
+        from repro.metrics import aerial_metrics
+
+        masks, aerials = training_data
+        baseline = small_doinn()
+        baseline.fit(masks, aerials)
+
+        golden = np.stack([tiny_simulator.aerial(m) for m in tiny_via_masks[:2]])
+        baseline_psnr = aerial_metrics(golden, baseline.predict_batch(tiny_via_masks[:2]))["psnr"]
+        nitho_psnr = aerial_metrics(golden, trained_tiny_nitho.predict_batch(tiny_via_masks[:2]))["psnr"]
+        assert nitho_psnr > baseline_psnr
+
+
+class TestAdversarialTempo:
+    def test_cgan_training_runs_and_reduces_l2(self, tiny_masks, tiny_aerials):
+        model = TempoModel(work_resolution=16, base_channels=4, epochs=8,
+                           learning_rate=3e-3, adversarial=True, seed=0)
+        history = model.fit(tiny_masks, tiny_aerials)
+        assert len(history) == 8
+        assert history[-1] < history[0]
+        assert model.discriminator is not None

@@ -1,0 +1,100 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.masks.io import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset_file(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("cli") / "b1.npz")
+    exit_code = main(["generate", "--dataset", "B1", "--preset", "tiny",
+                      "--seed", "3", "--output", path])
+    assert exit_code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def checkpoint_file(tmp_path_factory, dataset_file):
+    path = str(tmp_path_factory.mktemp("cli") / "nitho.npz")
+    exit_code = main(["train", "--preset", "tiny", "--seed", "3",
+                      "--dataset-file", dataset_file, "--epochs", "3",
+                      "--output", path])
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_preset_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "--output", "x.npz", "--preset", "huge"])
+
+
+class TestGenerate:
+    def test_creates_loadable_dataset(self, dataset_file):
+        assert os.path.exists(dataset_file)
+        dataset = load_dataset(dataset_file)
+        assert dataset.name == "B1"
+        assert dataset.num_train > 0
+        assert dataset.num_test > 0
+
+
+class TestTrainEvaluateSimulate:
+    def test_checkpoint_created(self, checkpoint_file):
+        assert os.path.exists(checkpoint_file)
+        with np.load(checkpoint_file) as archive:
+            assert len(archive.files) > 0
+
+    def test_evaluate_writes_json_metrics(self, dataset_file, checkpoint_file, tmp_path, capsys):
+        json_path = str(tmp_path / "metrics.json")
+        exit_code = main(["evaluate", "--preset", "tiny", "--seed", "3",
+                          "--dataset-file", dataset_file,
+                          "--checkpoint", checkpoint_file,
+                          "--json-output", json_path])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "aerial" in captured and "resist" in captured
+        with open(json_path) as handle:
+            metrics = json.load(handle)
+        assert set(metrics) == {"aerial", "resist"}
+        assert metrics["aerial"]["mse"] >= 0.0
+        assert 0.0 <= metrics["resist"]["miou"] <= 100.0
+
+    def test_simulate_with_checkpoint(self, dataset_file, checkpoint_file, capsys):
+        exit_code = main(["simulate", "--preset", "tiny", "--seed", "3",
+                          "--dataset-file", dataset_file,
+                          "--checkpoint", checkpoint_file, "--tiles", "2"])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "checkpoint vs golden" in captured
+
+    def test_simulate_without_checkpoint(self, dataset_file, capsys):
+        exit_code = main(["simulate", "--preset", "tiny", "--seed", "3",
+                          "--dataset-file", dataset_file, "--tiles", "1"])
+        assert exit_code == 0
+        assert "golden self-consistency" in capsys.readouterr().out
+
+    def test_train_rejects_test_only_dataset(self, tmp_path):
+        opc_path = str(tmp_path / "b1opc.npz")
+        assert main(["generate", "--dataset", "B1opc", "--preset", "tiny",
+                     "--output", opc_path]) == 0
+        exit_code = main(["train", "--preset", "tiny", "--dataset-file", opc_path,
+                          "--epochs", "1", "--output", str(tmp_path / "ckpt.npz")])
+        assert exit_code == 2

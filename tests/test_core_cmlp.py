@@ -1,0 +1,100 @@
+"""Tests for the CMLP and RealMLP heads (repro.core.cmlp)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.cmlp import CMLP, RealMLP
+from repro.core.encoding import RandomFourierEncoding, kernel_coordinates
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+class TestCMLPStructure:
+    def test_output_shape(self):
+        model = CMLP(input_dim=8, hidden_dim=16, num_hidden_blocks=2, num_kernels=5)
+        out = model(Tensor(np.zeros((10, 8), dtype=complex)))
+        assert out.shape == (10, 5)
+        assert out.dtype == np.complex128
+
+    def test_architecture_matches_equation_12(self):
+        """CLinear -> (CLinear -> CReLU) x N -> CLinear."""
+        model = CMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=3, num_kernels=2)
+        modules = list(model.network)
+        assert len(modules) == 1 + 2 * 3 + 1
+        assert isinstance(modules[0], nn.CLinear)
+        assert isinstance(modules[1], nn.CLinear)
+        assert isinstance(modules[2], nn.CReLU)
+        assert isinstance(modules[-1], nn.CLinear)
+
+    def test_zero_hidden_blocks_allowed(self):
+        model = CMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=0, num_kernels=2)
+        assert model(Tensor(np.zeros((3, 4), dtype=complex))).shape == (3, 2)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            CMLP(input_dim=0, num_kernels=2)
+        with pytest.raises(ValueError):
+            CMLP(input_dim=4, num_kernels=2, num_hidden_blocks=-1)
+
+    def test_all_parameters_complex(self):
+        model = CMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=1, num_kernels=2)
+        assert all(param.is_complex for param in model.parameters())
+
+    def test_predict_kernels_shape(self):
+        shape = (5, 7)
+        encoding = RandomFourierEncoding(num_features=6, seed=0)
+        features = Tensor(encoding(kernel_coordinates(shape)))
+        model = CMLP(input_dim=encoding.output_dim, hidden_dim=8, num_hidden_blocks=1, num_kernels=3)
+        kernels = model.predict_kernels(features, shape)
+        assert kernels.shape == (3, 5, 7)
+
+    def test_predict_kernels_validates_coordinate_count(self):
+        model = CMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=1, num_kernels=3)
+        with pytest.raises(ValueError):
+            model.predict_kernels(Tensor(np.zeros((10, 4), dtype=complex)), (5, 7))
+
+    def test_seed_reproducibility(self):
+        a = CMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=1, num_kernels=2, seed=11)
+        b = CMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=1, num_kernels=2, seed=11)
+        np.testing.assert_allclose(a.state_dict()["network.0.weight"],
+                                   b.state_dict()["network.0.weight"])
+
+
+class TestRealMLP:
+    def test_output_is_complex_kernels(self):
+        shape = (3, 3)
+        model = RealMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=1, num_kernels=2)
+        kernels = model.predict_kernels(Tensor(np.zeros((9, 4))), shape)
+        assert kernels.shape == (2, 3, 3)
+        assert kernels.dtype == np.complex128
+
+    def test_all_parameters_real(self):
+        model = RealMLP(input_dim=4, hidden_dim=8, num_hidden_blocks=1, num_kernels=2)
+        assert all(not param.is_complex for param in model.parameters())
+
+
+class TestCMLPLearning:
+    def test_cmlp_fits_a_small_complex_field(self):
+        """The CMLP can regress a smooth complex-valued function of coordinates."""
+        rng = np.random.default_rng(0)
+        shape = (7, 7)
+        coords = kernel_coordinates(shape)
+        encoding = RandomFourierEncoding(num_features=16, sigma=2.0, seed=0)
+        features = Tensor(encoding(coords))
+        # target: one smooth complex "kernel" over the window
+        target_field = np.exp(-((coords[:, 0] - 0.5) ** 2 + (coords[:, 1] - 0.5) ** 2) * 8.0)
+        target = Tensor((target_field * (1 + 0.5j))[:, None])
+
+        model = CMLP(input_dim=encoding.output_dim, hidden_dim=24, num_hidden_blocks=1,
+                     num_kernels=1, seed=0)
+        optimizer = nn.Adam(model.parameters(), lr=1e-2)
+        losses = []
+        for _ in range(200):
+            prediction = model(features)
+            loss = F.sum(F.abs2(F.sub(prediction, target)))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.item()))
+        assert losses[-1] < 0.05 * losses[0]

@@ -1,0 +1,144 @@
+"""Tests for positional encodings and kernel coordinates (repro.core.encoding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoding import (
+    IdentityEncoding,
+    NeRFEncoding,
+    RandomFourierEncoding,
+    kernel_coordinates,
+    make_encoding,
+)
+
+
+class TestKernelCoordinates:
+    def test_shape_and_order(self):
+        coords = kernel_coordinates((3, 4))
+        assert coords.shape == (12, 2)
+        # row-major enumeration: first row index stays 0 for the first 4 entries
+        np.testing.assert_allclose(coords[:4, 0], 0.0)
+
+    def test_normalised_to_unit_interval(self):
+        coords = kernel_coordinates((5, 7))
+        assert coords.min() == 0.0
+        assert coords.max() == 1.0
+
+    def test_single_sample_window(self):
+        coords = kernel_coordinates((1, 1))
+        np.testing.assert_allclose(coords, [[0.0, 0.0]])
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            kernel_coordinates((0, 4))
+
+    @given(n=st.integers(1, 12), m=st.integers(1, 12))
+    @settings(max_examples=30, deadline=None)
+    def test_unique_coordinates(self, n, m):
+        coords = kernel_coordinates((n, m))
+        assert len({tuple(row) for row in coords}) == n * m
+
+
+class TestIdentityEncoding:
+    def test_output_is_complex_passthrough(self):
+        encoding = IdentityEncoding()
+        coords = kernel_coordinates((3, 3))
+        out = encoding(coords)
+        assert out.dtype == np.complex128
+        np.testing.assert_allclose(out.real, coords)
+        assert encoding.output_dim == 2
+
+
+class TestNeRFEncoding:
+    def test_output_dimension(self):
+        encoding = NeRFEncoding(num_frequencies=5)
+        assert encoding.output_dim == 20
+        out = encoding(kernel_coordinates((4, 4)))
+        assert out.shape == (16, 20)
+
+    def test_values_bounded_by_one(self):
+        out = NeRFEncoding(num_frequencies=6)(kernel_coordinates((5, 5)))
+        assert np.max(np.abs(out)) <= 1.0 + 1e-12
+
+    def test_axis_aligned_structure(self):
+        """Each feature depends on exactly one of the two coordinates (Eq. (14))."""
+        encoding = NeRFEncoding(num_frequencies=3)
+        a = encoding(np.array([[0.3, 0.1]]))
+        b = encoding(np.array([[0.3, 0.9]]))
+        # features built from the first coordinate are identical
+        same = np.isclose(a, b).sum()
+        assert same >= a.size // 2
+
+    def test_invalid_frequencies(self):
+        with pytest.raises(ValueError):
+            NeRFEncoding(num_frequencies=0)
+
+    def test_rejects_bad_coordinate_shape(self):
+        with pytest.raises(ValueError):
+            NeRFEncoding()(np.zeros((4, 3)))
+
+
+class TestRandomFourierEncoding:
+    def test_output_dimension_and_dtype(self):
+        encoding = RandomFourierEncoding(num_features=16, sigma=3.0, seed=0)
+        out = encoding(kernel_coordinates((4, 4)))
+        assert out.shape == (16, 32)
+        assert out.dtype == np.complex128
+
+    def test_complex_lift_factor(self):
+        """Each entry is (cos or sin) * (1 + j): real and imaginary parts are equal."""
+        out = RandomFourierEncoding(num_features=8, seed=1)(kernel_coordinates((3, 3)))
+        np.testing.assert_allclose(out.real, out.imag)
+
+    def test_magnitude_bounded(self):
+        out = RandomFourierEncoding(num_features=8, seed=1)(kernel_coordinates((3, 3)))
+        assert np.max(np.abs(out)) <= np.sqrt(2.0) + 1e-12
+
+    def test_seeded_reproducibility(self):
+        coords = kernel_coordinates((4, 4))
+        a = RandomFourierEncoding(num_features=8, seed=3)(coords)
+        b = RandomFourierEncoding(num_features=8, seed=3)(coords)
+        np.testing.assert_allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        coords = kernel_coordinates((4, 4))
+        a = RandomFourierEncoding(num_features=8, seed=3)(coords)
+        b = RandomFourierEncoding(num_features=8, seed=4)(coords)
+        assert not np.allclose(a, b)
+
+    def test_sigma_controls_feature_bandwidth(self):
+        """Larger sigma -> faster-varying features across neighbouring coordinates."""
+        coords = kernel_coordinates((9, 9))
+
+        def variation(sigma):
+            out = RandomFourierEncoding(num_features=32, sigma=sigma, seed=0)(coords).real
+            return np.abs(np.diff(out, axis=0)).mean()
+
+        assert variation(16.0) > variation(1.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RandomFourierEncoding(num_features=0)
+        with pytest.raises(ValueError):
+            RandomFourierEncoding(sigma=0.0)
+
+    def test_isotropy_of_frequency_matrix(self):
+        """Frequencies are drawn i.i.d. per axis: no preferred axis on average."""
+        encoding = RandomFourierEncoding(num_features=512, sigma=5.0, seed=0)
+        stds = encoding.frequencies.std(axis=0)
+        assert abs(stds[0] - stds[1]) / stds.mean() < 0.2
+
+
+class TestFactory:
+    def test_all_names(self):
+        assert isinstance(make_encoding("none"), IdentityEncoding)
+        assert isinstance(make_encoding("identity"), IdentityEncoding)
+        assert isinstance(make_encoding("nerf", num_frequencies=4), NeRFEncoding)
+        assert isinstance(make_encoding("rff", num_features=8), RandomFourierEncoding)
+        assert isinstance(make_encoding("gaussian"), RandomFourierEncoding)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_encoding("positional")

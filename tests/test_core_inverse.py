@@ -1,0 +1,80 @@
+"""Tests for gradient-based inverse lithography on the kernel bank (repro.core.inverse)."""
+
+import numpy as np
+import pytest
+
+from repro.core.inverse import GradientILT, ILTSettings, print_fidelity
+
+
+@pytest.fixture(scope="module")
+def golden_kernels(tiny_simulator):
+    return tiny_simulator.kernels.kernels
+
+
+@pytest.fixture(scope="module")
+def simple_target(tiny_simulator):
+    size = tiny_simulator.config.tile_size_px
+    target = np.zeros((size, size))
+    target[size // 4: 3 * size // 4, size // 2 - 4: size // 2 + 4] = 1.0
+    return target
+
+
+class TestSettingsValidation:
+    def test_invalid_settings(self):
+        with pytest.raises(ValueError):
+            ILTSettings(iterations=0)
+        with pytest.raises(ValueError):
+            ILTSettings(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            ILTSettings(resist_threshold=0.0)
+        with pytest.raises(ValueError):
+            ILTSettings(resist_steepness=-1.0)
+
+    def test_kernel_shape_validation(self):
+        with pytest.raises(ValueError):
+            GradientILT(np.zeros((4, 4)))
+
+    def test_target_shape_validation(self, golden_kernels):
+        ilt = GradientILT(golden_kernels, ILTSettings(iterations=1))
+        with pytest.raises(ValueError):
+            ilt.optimise(np.zeros((2, 4, 4)))
+
+
+class TestOptimisation:
+    @pytest.fixture(scope="class")
+    def result(self, golden_kernels, simple_target, tiny_simulator):
+        settings = ILTSettings(iterations=60, learning_rate=0.4,
+                               resist_threshold=tiny_simulator.config.resist_threshold)
+        return GradientILT(golden_kernels, settings).optimise(simple_target)
+
+    def test_output_structure(self, result, simple_target):
+        assert set(result) >= {"mask", "binary_mask", "aerial", "resist", "history"}
+        assert result["mask"].shape == simple_target.shape
+        assert set(np.unique(result["binary_mask"])).issubset({0.0, 1.0})
+        assert set(np.unique(result["resist"])).issubset({0, 1})
+
+    def test_mask_stays_in_unit_interval(self, result):
+        assert result["mask"].min() >= 0.0
+        assert result["mask"].max() <= 1.0
+
+    def test_fidelity_loss_decreases(self, result):
+        history = result["history"]
+        assert history[-1] < history[0]
+
+    def test_ilt_improves_print_fidelity_over_uncorrected_mask(self, result, simple_target,
+                                                               tiny_simulator):
+        uncorrected = tiny_simulator.resist(simple_target)
+        baseline = print_fidelity(uncorrected, simple_target)
+        optimised = print_fidelity(result["resist"], simple_target)
+        assert optimised >= baseline - 1e-9
+
+    def test_learned_kernels_usable_for_ilt(self, trained_tiny_nitho, simple_target,
+                                            tiny_simulator):
+        """The advertised use case: run ILT on the kernels exported from Nitho."""
+        settings = ILTSettings(iterations=30, learning_rate=0.4,
+                               resist_threshold=tiny_simulator.config.resist_threshold)
+        result = GradientILT(trained_tiny_nitho.export_kernels(), settings).optimise(simple_target)
+        assert result["history"][-1] < result["history"][0]
+        # Verify the optimised mask against the *golden* simulator, not the learned one.
+        printed = tiny_simulator.resist(result["binary_mask"])
+        assert print_fidelity(printed, simple_target) > 60.0

@@ -1,0 +1,117 @@
+"""Tests for geometry primitives and rasterisation (repro.masks.geometry)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.masks.geometry import Polygon, Rect, mask_density, rasterize
+
+
+class TestRect:
+    def test_basic_properties(self):
+        rect = Rect(10, 20, 30, 40)
+        assert rect.x2 == 40
+        assert rect.y2 == 60
+        assert rect.area == 1200
+        assert rect.centre == (25, 40)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 5)
+        with pytest.raises(ValueError):
+            Rect(0, 0, 5, 0)
+
+    def test_intersects(self):
+        a = Rect(0, 0, 10, 10)
+        assert a.intersects(Rect(5, 5, 10, 10))
+        assert not a.intersects(Rect(20, 20, 5, 5))
+        assert not a.intersects(Rect(10, 0, 5, 5))  # touching edges do not overlap
+
+    def test_expanded_and_shrunk(self):
+        rect = Rect(10, 10, 10, 10)
+        grown = rect.expanded(5)
+        assert (grown.x, grown.y, grown.width, grown.height) == (5, 5, 20, 20)
+        with pytest.raises(ValueError):
+            rect.expanded(-6)
+
+    def test_translated(self):
+        rect = Rect(0, 0, 4, 4).translated(3, -2)
+        assert (rect.x, rect.y) == (3, -2)
+
+    def test_clipped(self):
+        rect = Rect(-5, -5, 20, 20).clipped(10)
+        assert (rect.x, rect.y, rect.x2, rect.y2) == (0, 0, 10, 10)
+        with pytest.raises(ValueError):
+            Rect(20, 20, 5, 5).clipped(10)
+
+    @given(x=st.floats(0, 100), y=st.floats(0, 100),
+           w=st.floats(1, 50), h=st.floats(1, 50), margin=st.floats(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_grows_area(self, x, y, w, h, margin):
+        rect = Rect(x, y, w, h)
+        assert rect.expanded(margin).area >= rect.area
+
+
+class TestPolygon:
+    def test_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon(((0, 0), (1, 1)))
+
+    def test_bounding_box(self):
+        poly = Polygon(((0, 0), (10, 0), (10, 20), (0, 20)))
+        box = poly.bounding_box()
+        assert (box.width, box.height) == (10, 20)
+
+    def test_rectangle_decomposition_of_l_shape(self):
+        # L-shape: 20x10 bar plus 10x20 bar sharing a corner.
+        vertices = ((0, 0), (20, 0), (20, 10), (10, 10), (10, 20), (0, 20))
+        rects = Polygon(vertices).to_rects()
+        total_area = sum(r.area for r in rects)
+        assert total_area == pytest.approx(20 * 10 + 10 * 10)
+
+
+class TestRasterize:
+    def test_full_tile_rectangle(self):
+        mask = rasterize([Rect(0, 0, 64, 64)], tile_size_px=8, pixel_size_nm=8.0)
+        np.testing.assert_allclose(mask, 1.0)
+
+    def test_half_tile(self):
+        mask = rasterize([Rect(0, 0, 32, 64)], tile_size_px=8, pixel_size_nm=8.0)
+        np.testing.assert_allclose(mask[:, :4], 1.0)
+        np.testing.assert_allclose(mask[:, 4:], 0.0)
+
+    def test_shape_outside_tile_is_ignored(self):
+        mask = rasterize([Rect(1000, 1000, 10, 10)], tile_size_px=8, pixel_size_nm=8.0)
+        np.testing.assert_allclose(mask, 0.0)
+
+    def test_pixel_centre_sampling(self):
+        """A rectangle covering less than half the first pixel leaves it dark."""
+        mask = rasterize([Rect(0, 0, 3.0, 64)], tile_size_px=8, pixel_size_nm=8.0)
+        assert mask[0, 0] == 0.0
+        mask = rasterize([Rect(0, 0, 5.0, 64)], tile_size_px=8, pixel_size_nm=8.0)
+        assert mask[0, 0] == 1.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            rasterize([], tile_size_px=0, pixel_size_nm=1.0)
+        with pytest.raises(ValueError):
+            rasterize([], tile_size_px=8, pixel_size_nm=0.0)
+
+    def test_empty_shape_list(self):
+        mask = rasterize([], tile_size_px=8, pixel_size_nm=8.0)
+        np.testing.assert_allclose(mask, 0.0)
+
+    def test_mask_density(self):
+        mask = np.zeros((10, 10))
+        mask[:5] = 1.0
+        assert mask_density(mask) == pytest.approx(0.5)
+        assert mask_density(np.zeros((0, 0))) == 0.0
+
+    @given(width=st.floats(8, 120), height=st.floats(8, 120))
+    @settings(max_examples=30, deadline=None)
+    def test_rasterised_area_tracks_geometric_area(self, width, height):
+        pixel = 4.0
+        mask = rasterize([Rect(16, 16, width, height)], tile_size_px=64, pixel_size_nm=pixel)
+        geometric_pixels = (width / pixel) * (height / pixel)
+        assert abs(mask.sum() - geometric_pixels) <= (width + height) / pixel + 4

@@ -1,0 +1,94 @@
+"""Tests for the OPC substrate (rule-based OPC and ILT refinement)."""
+
+import numpy as np
+import pytest
+
+from repro.masks.opc import ILTRefiner, RuleOPCSettings, apply_opc, rule_based_opc
+from repro.optics.simulator import lithosim_engine
+
+
+@pytest.fixture(scope="module")
+def simple_mask():
+    mask = np.zeros((48, 48))
+    mask[16:32, 20:28] = 1.0
+    return mask
+
+
+@pytest.fixture(scope="module")
+def opc_simulator():
+    return lithosim_engine(tile_size_px=48, pixel_size_nm=20.0)
+
+
+class TestRuleOPC:
+    def test_output_is_binary_and_same_shape(self, simple_mask):
+        corrected = rule_based_opc(simple_mask)
+        assert corrected.shape == simple_mask.shape
+        assert set(np.unique(corrected)).issubset({0.0, 1.0})
+
+    def test_correction_contains_original_pattern(self, simple_mask):
+        corrected = rule_based_opc(simple_mask)
+        assert np.all(corrected[simple_mask > 0.5] == 1.0)
+
+    def test_correction_adds_decoration(self, simple_mask):
+        corrected = rule_based_opc(simple_mask)
+        assert corrected.sum() > simple_mask.sum()
+
+    def test_settings_validation(self):
+        with pytest.raises(ValueError):
+            RuleOPCSettings(edge_bias_px=-1)
+
+    def test_zero_bias_no_serif_still_adds_srafs(self, simple_mask):
+        settings = RuleOPCSettings(edge_bias_px=0, serif_size_px=0,
+                                   sraf_distance_px=5, sraf_width_px=1)
+        corrected = rule_based_opc(simple_mask, settings)
+        assert corrected.sum() > simple_mask.sum()
+
+    def test_srafs_are_detached_from_main_pattern(self, simple_mask):
+        """Assist features must not merge with the (biased) main pattern."""
+        settings = RuleOPCSettings(edge_bias_px=1, serif_size_px=1,
+                                   sraf_distance_px=6, sraf_width_px=1)
+        corrected = rule_based_opc(simple_mask, settings)
+        # There must be a dark moat between the biased pattern and the SRAF ring.
+        from repro.masks.opc import _dilate
+
+        main = _dilate(simple_mask, settings.edge_bias_px + 2)
+        ring = corrected * (1 - main)
+        assert ring.sum() > 0
+
+
+class TestILT:
+    def test_refiner_validation(self, opc_simulator):
+        with pytest.raises(ValueError):
+            ILTRefiner(opc_simulator, iterations=0)
+        with pytest.raises(ValueError):
+            ILTRefiner(opc_simulator, flip_fraction=0.9)
+
+    def test_refiner_returns_binary_mask(self, opc_simulator, simple_mask):
+        refined = ILTRefiner(opc_simulator, iterations=2).refine(simple_mask)
+        assert set(np.unique(refined)).issubset({0.0, 1.0})
+        assert refined.shape == simple_mask.shape
+
+    def test_refiner_does_not_increase_print_error(self, opc_simulator, simple_mask):
+        """A few ILT iterations must not print worse than the uncorrected mask."""
+        target = simple_mask.copy()
+        before = np.abs(opc_simulator.resist(simple_mask).astype(float) - target).sum()
+        refined = ILTRefiner(opc_simulator, iterations=3).refine(simple_mask, target=target)
+        after = np.abs(opc_simulator.resist(refined).astype(float) - target).sum()
+        assert after <= before + 1e-9
+
+
+class TestApplyOPC:
+    def test_batch_shapes(self, simple_mask, opc_simulator):
+        batch = np.stack([simple_mask, simple_mask])
+        corrected = apply_opc(batch, simulator=opc_simulator, use_ilt=False)
+        assert corrected.shape == batch.shape
+
+    def test_single_mask_is_promoted_to_batch(self, simple_mask):
+        corrected = apply_opc(simple_mask, use_ilt=False)
+        assert corrected.shape == (1, *simple_mask.shape)
+
+    def test_opc_changes_the_mask_distribution(self, simple_mask, opc_simulator):
+        """The point of B1opc: the corrected masks differ substantially from the originals."""
+        corrected = apply_opc(simple_mask, simulator=opc_simulator, use_ilt=True)[0]
+        changed_pixels = np.abs(corrected - simple_mask).sum()
+        assert changed_pixels > 0.2 * simple_mask.sum()

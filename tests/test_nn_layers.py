@@ -1,0 +1,166 @@
+"""Tests for modules in repro.nn.layers (Module plumbing, linear layers, activations)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+class TestModulePlumbing:
+    def test_parameters_are_collected_recursively(self):
+        model = nn.Sequential(nn.Linear(3, 4), nn.ReLU(), nn.Linear(4, 2))
+        names = [name for name, _ in model.named_parameters()]
+        assert len(names) == 4  # two weights + two biases
+        assert any(name.endswith("weight") for name in names)
+
+    def test_num_parameters_counts_complex_twice(self):
+        real = nn.Linear(3, 4, bias=False)
+        cplx = nn.CLinear(3, 4, bias=False)
+        assert real.num_parameters() == 12
+        assert cplx.num_parameters() == 24
+
+    def test_size_megabytes_positive(self):
+        assert nn.Linear(10, 10).size_megabytes() > 0
+
+    def test_zero_grad_clears_all(self):
+        model = nn.Linear(3, 2)
+        out = F.sum(model(Tensor(RNG.normal(size=(4, 3)))))
+        out.backward()
+        assert model.weight.grad is not None
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Linear(2, 2), nn.Dropout(0.5))
+        model.eval()
+        assert all(not m.training for m in model)
+        model.train()
+        assert all(m.training for m in model)
+
+    def test_state_dict_roundtrip(self):
+        source = nn.Linear(3, 2, rng=np.random.default_rng(0))
+        target = nn.Linear(3, 2, rng=np.random.default_rng(99))
+        target.load_state_dict(source.state_dict())
+        np.testing.assert_allclose(source.weight.data, target.weight.data)
+
+    def test_load_state_dict_missing_key_raises(self):
+        model = nn.Linear(3, 2)
+        state = model.state_dict()
+        state.pop("bias")
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_shape_mismatch_raises(self):
+        model = nn.Linear(3, 2)
+        state = model.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_forward_not_implemented_on_base(self):
+        with pytest.raises(NotImplementedError):
+            nn.Module()(Tensor([1.0]))
+
+
+class TestLinearLayers:
+    def test_linear_output_shape(self):
+        layer = nn.Linear(5, 3)
+        assert layer(Tensor(RNG.normal(size=(7, 5)))).shape == (7, 3)
+
+    def test_linear_no_bias(self):
+        layer = nn.Linear(5, 3, bias=False)
+        assert "bias" not in dict(layer.named_parameters())
+
+    def test_linear_matches_manual_computation(self):
+        layer = nn.Linear(3, 2)
+        x = RNG.normal(size=(4, 3))
+        expected = x @ layer.weight.data + layer.bias.data
+        np.testing.assert_allclose(layer(Tensor(x)).data, expected)
+
+    def test_clinear_output_is_complex(self):
+        layer = nn.CLinear(4, 3)
+        out = layer(Tensor(RNG.normal(size=(2, 4)) + 1j * RNG.normal(size=(2, 4))))
+        assert out.dtype == np.complex128
+        assert out.shape == (2, 3)
+
+    def test_clinear_weights_are_complex(self):
+        layer = nn.CLinear(4, 3)
+        assert layer.weight.is_complex
+        assert layer.bias.is_complex
+
+    def test_clinear_trains_to_fit_linear_map(self):
+        """A single CLinear layer can recover a fixed complex linear map."""
+        rng = np.random.default_rng(0)
+        true_weight = rng.normal(size=(3, 2)) + 1j * rng.normal(size=(3, 2))
+        inputs = rng.normal(size=(32, 3)) + 1j * rng.normal(size=(32, 3))
+        targets = inputs @ true_weight
+
+        layer = nn.CLinear(3, 2, rng=rng)
+        optimizer = nn.Adam(layer.parameters(), lr=5e-2)
+        for _ in range(300):
+            prediction = layer(Tensor(inputs))
+            loss = F.sum(F.abs2(F.sub(prediction, Tensor(targets))))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(layer.weight.data, true_weight, atol=5e-2)
+
+
+class TestActivationsAndContainers:
+    def test_sequential_applies_in_order(self):
+        model = nn.Sequential(nn.Linear(2, 2, rng=np.random.default_rng(0)), nn.ReLU())
+        out = model(Tensor(RNG.normal(size=(3, 2))))
+        assert np.all(out.data >= 0)
+
+    def test_sequential_len_and_iter(self):
+        model = nn.Sequential(nn.ReLU(), nn.Tanh())
+        assert len(model) == 2
+        assert len(list(model)) == 2
+
+    def test_crelu_module(self):
+        out = nn.CReLU()(Tensor([-1 - 1j, 1 + 1j]))
+        np.testing.assert_allclose(out.data, [0, 1 + 1j])
+
+    def test_modrelu_module(self):
+        out = nn.ModReLU(bias=-10.0)(Tensor([1 + 1j]))
+        np.testing.assert_allclose(out.data, [0.0])
+
+    def test_dropout_eval_is_identity(self):
+        layer = nn.Dropout(0.9)
+        layer.eval()
+        x = RNG.normal(size=(5, 5))
+        np.testing.assert_allclose(layer(Tensor(x)).data, x)
+
+    def test_dropout_train_zeroes_some_entries(self):
+        layer = nn.Dropout(0.5, rng=np.random.default_rng(0))
+        out = layer(Tensor(np.ones((20, 20))))
+        assert np.sum(out.data == 0) > 0
+
+    def test_dropout_invalid_probability(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+
+    def test_layernorm_normalises_last_axis(self):
+        layer = nn.LayerNorm(8)
+        out = layer(Tensor(RNG.normal(loc=3.0, scale=2.0, size=(5, 8)))).data
+        np.testing.assert_allclose(out.mean(axis=-1), 0.0, atol=1e-6)
+        np.testing.assert_allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_batchnorm_train_normalises(self):
+        layer = nn.BatchNorm2d(3)
+        x = RNG.normal(loc=5.0, scale=3.0, size=(4, 3, 6, 6))
+        out = layer(Tensor(x)).data
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+
+    def test_batchnorm_eval_uses_running_stats(self):
+        layer = nn.BatchNorm2d(2)
+        x = RNG.normal(loc=5.0, scale=3.0, size=(4, 2, 4, 4))
+        for _ in range(20):
+            layer(Tensor(x))
+        layer.eval()
+        out = layer(Tensor(x)).data
+        assert abs(out.mean()) < 1.0

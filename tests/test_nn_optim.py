@@ -1,0 +1,171 @@
+"""Tests for optimizers and LR schedules (repro.nn.optim)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor
+
+
+def quadratic_loss(param: Tensor, target: np.ndarray) -> Tensor:
+    return F.sum(F.square(F.sub(param, Tensor(target))))
+
+
+def complex_quadratic_loss(param: Tensor, target: np.ndarray) -> Tensor:
+    return F.sum(F.abs2(F.sub(param, Tensor(target))))
+
+
+class TestSGD:
+    def test_empty_parameter_list_raises(self):
+        with pytest.raises(ValueError):
+            nn.SGD([], lr=0.1)
+
+    def test_converges_on_quadratic(self):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Tensor(np.zeros(3), requires_grad=True)
+        optimizer = nn.SGD([param], lr=0.1)
+        for _ in range(100):
+            loss = quadratic_loss(param, target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        target = np.array([5.0])
+
+        def run(momentum):
+            param = Tensor(np.zeros(1), requires_grad=True)
+            optimizer = nn.SGD([param], lr=0.02, momentum=momentum)
+            for _ in range(30):
+                loss = quadratic_loss(param, target)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            return abs(param.data[0] - target[0])
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_shrinks_solution(self):
+        target = np.array([1.0])
+
+        def run(weight_decay):
+            param = Tensor(np.zeros(1), requires_grad=True)
+            optimizer = nn.SGD([param], lr=0.1, weight_decay=weight_decay)
+            for _ in range(200):
+                loss = quadratic_loss(param, target)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+            return param.data[0]
+
+        assert run(1.0) < run(0.0)
+
+    def test_skips_parameters_without_grad(self):
+        param = Tensor(np.ones(2), requires_grad=True)
+        optimizer = nn.SGD([param], lr=0.1)
+        optimizer.step()  # no gradient accumulated yet
+        np.testing.assert_allclose(param.data, 1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        target = np.array([2.0, -1.0])
+        param = Tensor(np.zeros(2), requires_grad=True)
+        optimizer = nn.Adam([param], lr=0.1)
+        for _ in range(300):
+            loss = quadratic_loss(param, target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_converges_on_complex_quadratic(self):
+        target = np.array([1 + 2j, -3 - 1j])
+        param = Tensor(np.zeros(2, dtype=complex), requires_grad=True)
+        optimizer = nn.Adam([param], lr=0.1)
+        for _ in range(400):
+            loss = complex_quadratic_loss(param, target)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_second_moment_stays_real_for_complex_params(self):
+        param = Tensor(np.zeros(2, dtype=complex), requires_grad=True)
+        optimizer = nn.Adam([param], lr=0.1)
+        loss = complex_quadratic_loss(param, np.array([1 + 1j, 2 - 2j]))
+        loss.backward()
+        optimizer.step()
+        assert not np.iscomplexobj(optimizer._v[0])
+
+    def test_weight_decay(self):
+        param = Tensor(np.full(1, 10.0), requires_grad=True)
+        optimizer = nn.Adam([param], lr=0.05, weight_decay=1.0)
+        for _ in range(200):
+            loss = quadratic_loss(param, np.array([10.0]))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+        assert param.data[0] < 10.0
+
+
+class TestSchedulers:
+    def test_step_lr_halves(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = nn.SGD([param], lr=1.0)
+        scheduler = nn.StepLR(optimizer, step_size=2, gamma=0.5)
+        scheduler.step()
+        assert optimizer.lr == 1.0
+        scheduler.step()
+        assert optimizer.lr == 0.5
+
+    def test_step_lr_invalid_step_size(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.StepLR(nn.SGD([param], lr=1.0), step_size=0)
+
+    def test_cosine_reaches_min_lr(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = nn.SGD([param], lr=1.0)
+        scheduler = nn.CosineLR(optimizer, total_epochs=10, min_lr=0.1)
+        for _ in range(10):
+            scheduler.step()
+        assert optimizer.lr == pytest.approx(0.1)
+
+    def test_cosine_is_monotone_decreasing(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        optimizer = nn.SGD([param], lr=1.0)
+        scheduler = nn.CosineLR(optimizer, total_epochs=20)
+        values = []
+        for _ in range(20):
+            scheduler.step()
+            values.append(optimizer.lr)
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_cosine_invalid_epochs(self):
+        param = Tensor(np.zeros(1), requires_grad=True)
+        with pytest.raises(ValueError):
+            nn.CosineLR(nn.SGD([param], lr=1.0), total_epochs=0)
+
+
+class TestGradientClipping:
+    def test_clip_reduces_norm(self):
+        param = Tensor(np.zeros(3), requires_grad=True)
+        param.grad = np.array([3.0, 4.0, 0.0])
+        total = nn.clip_grad_norm([param], max_norm=1.0)
+        assert total == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_clip_leaves_small_gradients(self):
+        param = Tensor(np.zeros(2), requires_grad=True)
+        param.grad = np.array([0.1, 0.1])
+        nn.clip_grad_norm([param], max_norm=10.0)
+        np.testing.assert_allclose(param.grad, [0.1, 0.1])
+
+    def test_clip_handles_complex_gradients(self):
+        param = Tensor(np.zeros(1, dtype=complex), requires_grad=True)
+        param.grad = np.array([3 + 4j])
+        nn.clip_grad_norm([param], max_norm=1.0)
+        assert np.abs(param.grad[0]) == pytest.approx(1.0)

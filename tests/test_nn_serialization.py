@@ -1,0 +1,46 @@
+"""Tests for checkpoint save / load (repro.nn.serialization)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.serialization import load_module, save_module
+from repro.nn.tensor import Tensor
+
+
+def test_save_and_load_roundtrip(tmp_path):
+    source = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(0)), nn.ReLU(),
+                           nn.Linear(3, 2, rng=np.random.default_rng(1)))
+    path = str(tmp_path / "model.npz")
+    save_module(source, path)
+
+    target = nn.Sequential(nn.Linear(4, 3, rng=np.random.default_rng(7)), nn.ReLU(),
+                           nn.Linear(3, 2, rng=np.random.default_rng(8)))
+    load_module(target, path)
+
+    x = Tensor(np.random.default_rng(2).normal(size=(5, 4)))
+    np.testing.assert_allclose(source(x).data, target(x).data)
+
+
+def test_save_creates_missing_directories(tmp_path):
+    model = nn.Linear(2, 2)
+    path = str(tmp_path / "nested" / "deeper" / "model.npz")
+    save_module(model, path)
+    load_module(nn.Linear(2, 2), path)
+
+
+def test_complex_parameters_roundtrip(tmp_path):
+    source = nn.CLinear(3, 2, rng=np.random.default_rng(0))
+    path = str(tmp_path / "cmlp.npz")
+    save_module(source, path)
+    target = nn.CLinear(3, 2, rng=np.random.default_rng(9))
+    load_module(target, path)
+    np.testing.assert_allclose(source.weight.data, target.weight.data)
+    assert target.weight.is_complex
+
+
+def test_load_into_mismatched_model_raises(tmp_path):
+    path = str(tmp_path / "model.npz")
+    save_module(nn.Linear(2, 2), path)
+    with pytest.raises((KeyError, ValueError)):
+        load_module(nn.Linear(3, 3), path)

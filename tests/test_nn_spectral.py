@@ -1,0 +1,81 @@
+"""Tests for the FNO spectral convolution layer (repro.nn.spectral)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.spectral import spectral_conv2d
+from repro.nn.tensor import Tensor
+
+RNG = np.random.default_rng(17)
+
+
+class TestSpectralConvFunction:
+    def test_output_shape_and_dtype(self):
+        x = Tensor(RNG.normal(size=(2, 3, 16, 16)))
+        weight = Tensor(RNG.normal(size=(3, 4, 8, 8)) + 1j * RNG.normal(size=(3, 4, 8, 8)))
+        out = spectral_conv2d(x, weight, modes=4)
+        assert out.shape == (2, 4, 16, 16)
+        assert out.dtype == np.float64
+
+    def test_modes_too_large_raises(self):
+        x = Tensor(RNG.normal(size=(1, 1, 8, 8)))
+        weight = Tensor(np.zeros((1, 1, 12, 12), dtype=complex))
+        with pytest.raises(ValueError):
+            spectral_conv2d(x, weight, modes=6)
+
+    def test_zero_weight_gives_zero_output(self):
+        x = Tensor(RNG.normal(size=(1, 2, 8, 8)))
+        weight = Tensor(np.zeros((2, 1, 4, 4), dtype=complex))
+        out = spectral_conv2d(x, weight, modes=2)
+        np.testing.assert_allclose(out.data, 0.0)
+
+    def test_identity_weight_low_passes(self):
+        """A unit weight acts as an ideal low-pass filter: constants pass through."""
+        x = Tensor(np.full((1, 1, 8, 8), 2.5))
+        weight = Tensor(np.ones((1, 1, 4, 4), dtype=complex))
+        out = spectral_conv2d(x, weight, modes=2)
+        np.testing.assert_allclose(out.data, 2.5, atol=1e-10)
+
+    def test_gradient_flows_to_weight(self):
+        x = Tensor(RNG.normal(size=(1, 1, 8, 8)))
+        weight = Tensor(0.1 * (RNG.normal(size=(1, 1, 4, 4)) + 1j * RNG.normal(size=(1, 1, 4, 4))),
+                        requires_grad=True)
+        loss = F.sum(F.square(spectral_conv2d(x, weight, modes=2)))
+        loss.backward()
+        assert weight.grad is not None
+        assert np.any(np.abs(weight.grad) > 0)
+
+
+class TestSpectralConvModule:
+    def test_parameter_count(self):
+        layer = nn.SpectralConv2d(2, 3, modes=4)
+        # complex weight (2, 3, 8, 8) counts twice
+        assert layer.num_parameters() == 2 * 3 * 8 * 8 * 2
+
+    def test_module_forward_shape(self):
+        layer = nn.SpectralConv2d(1, 2, modes=3)
+        out = layer(Tensor(RNG.normal(size=(2, 1, 12, 12))))
+        assert out.shape == (2, 2, 12, 12)
+
+    def test_module_learns_low_pass_target(self):
+        """The spectral layer can fit a smooth (low-frequency) target image."""
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 1, 16, 16))
+        # Target: heavily smoothed version of the input (keep only lowest modes).
+        spectrum = np.fft.fftshift(np.fft.fft2(x, norm="ortho"), axes=(-2, -1))
+        keep = np.zeros_like(spectrum)
+        keep[..., 6:10, 6:10] = spectrum[..., 6:10, 6:10]
+        target = np.real(np.fft.ifft2(np.fft.ifftshift(keep, axes=(-2, -1)), norm="ortho"))
+
+        layer = nn.SpectralConv2d(1, 1, modes=2, rng=rng)
+        optimizer = nn.Adam(layer.parameters(), lr=2e-2)
+        losses = []
+        for _ in range(150):
+            loss = F.mse_loss(layer(Tensor(x)), Tensor(target))
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            losses.append(float(loss.item()))
+        assert losses[-1] < 0.2 * losses[0]

@@ -1,0 +1,107 @@
+"""Tests for illumination-source models (repro.optics.source)."""
+
+import numpy as np
+import pytest
+
+from repro.optics.grid import make_grid
+from repro.optics.source import (
+    AnnularSource,
+    CircularSource,
+    DipoleSource,
+    PixelatedSource,
+    QuadrupoleSource,
+    make_source,
+)
+
+GRID = make_grid(31, 31, field_size_nm=2000.0, wavelength_nm=193.0, numerical_aperture=1.35)
+
+
+class TestCircularSource:
+    def test_intensity_inside_sigma_only(self):
+        source = CircularSource(sigma=0.5)
+        intensity = source.intensity(GRID)
+        assert intensity[15, 15] == 1.0          # DC is inside
+        assert intensity[0, 0] == 0.0            # far corner is outside
+
+    def test_larger_sigma_has_more_area(self):
+        small = CircularSource(sigma=0.3).intensity(GRID).sum()
+        large = CircularSource(sigma=0.9).intensity(GRID).sum()
+        assert large > small
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            CircularSource(sigma=0.0)
+        with pytest.raises(ValueError):
+            CircularSource(sigma=1.5)
+
+    def test_normalized_intensity_sums_to_one(self):
+        total = CircularSource(sigma=0.6).normalized_intensity(GRID).sum()
+        assert total == pytest.approx(1.0)
+
+
+class TestAnnularSource:
+    def test_hole_in_the_middle(self):
+        source = AnnularSource(sigma_inner=0.4, sigma_outer=0.8)
+        intensity = source.intensity(GRID)
+        assert intensity[15, 15] == 0.0
+
+    def test_ring_is_populated(self):
+        source = AnnularSource(sigma_inner=0.4, sigma_outer=0.9)
+        assert source.intensity(GRID).sum() > 0
+
+    def test_invalid_radii(self):
+        with pytest.raises(ValueError):
+            AnnularSource(sigma_inner=0.8, sigma_outer=0.5)
+        with pytest.raises(ValueError):
+            AnnularSource(sigma_inner=0.2, sigma_outer=1.5)
+
+
+class TestShapedSources:
+    def test_dipole_has_two_poles(self):
+        intensity = DipoleSource(centre=0.6, pole_radius=0.2).intensity(GRID)
+        # poles on the x axis: intensity on the horizontal midline, none on the vertical
+        assert intensity[15, :].sum() > 0
+        assert intensity[15, 15] == 0.0
+
+    def test_dipole_vertical_flag(self):
+        horizontal = DipoleSource(vertical=False).intensity(GRID)
+        vertical = DipoleSource(vertical=True).intensity(GRID)
+        np.testing.assert_allclose(vertical, horizontal.T)
+
+    def test_quadrupole_symmetry(self):
+        intensity = QuadrupoleSource(centre=0.6, pole_radius=0.25).intensity(GRID)
+        np.testing.assert_allclose(intensity, np.flipud(intensity))
+        np.testing.assert_allclose(intensity, np.fliplr(intensity))
+        assert intensity.sum() > 0
+
+    def test_pixelated_source_validation(self):
+        with pytest.raises(ValueError):
+            PixelatedSource(np.ones((3, 3, 3)))
+        with pytest.raises(ValueError):
+            PixelatedSource(-np.ones((3, 3)))
+
+    def test_pixelated_source_shape_mismatch(self):
+        source = PixelatedSource(np.ones((5, 5)))
+        with pytest.raises(ValueError):
+            source.intensity(GRID)
+
+    def test_pixelated_source_passthrough(self):
+        pixels = np.random.default_rng(0).random((31, 31))
+        np.testing.assert_allclose(PixelatedSource(pixels).intensity(GRID), pixels)
+
+    def test_all_zero_source_raises_on_normalisation(self):
+        source = PixelatedSource(np.zeros((31, 31)))
+        with pytest.raises(ValueError):
+            source.normalized_intensity(GRID)
+
+
+class TestFactory:
+    def test_known_names(self):
+        assert isinstance(make_source("circular", sigma=0.5), CircularSource)
+        assert isinstance(make_source("ANNULAR"), AnnularSource)
+        assert isinstance(make_source("dipole"), DipoleSource)
+        assert isinstance(make_source("quadrupole"), QuadrupoleSource)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            make_source("laser")

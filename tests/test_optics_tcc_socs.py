@@ -1,0 +1,137 @@
+"""Tests for the TCC computation and SOCS decomposition (the heart of the golden simulator)."""
+
+import numpy as np
+import pytest
+
+from repro.optics.grid import make_grid
+from repro.optics.pupil import Pupil
+from repro.optics.socs import decompose_tcc, kernels_from_matrix, truncation_error_bound
+from repro.optics.source import AnnularSource, CircularSource
+from repro.optics.tcc import TCCResult, compute_tcc, tcc_diagonal
+
+WAVELENGTH = 193.0
+NA = 1.35
+FIELD = 960.0  # nm
+KERNEL_SHAPE = (15, 15)
+
+
+@pytest.fixture(scope="module")
+def tcc_circular():
+    return compute_tcc(CircularSource(sigma=0.6), Pupil(), KERNEL_SHAPE,
+                       field_size_nm=FIELD, wavelength_nm=WAVELENGTH, numerical_aperture=NA)
+
+
+@pytest.fixture(scope="module")
+def tcc_annular():
+    return compute_tcc(AnnularSource(0.5, 0.8), Pupil(), KERNEL_SHAPE,
+                       field_size_nm=FIELD, wavelength_nm=WAVELENGTH, numerical_aperture=NA)
+
+
+class TestTCCMatrix:
+    def test_shape(self, tcc_circular):
+        order = KERNEL_SHAPE[0] * KERNEL_SHAPE[1]
+        assert tcc_circular.matrix.shape == (order, order)
+        assert tcc_circular.order == order
+
+    def test_hermitian(self, tcc_circular):
+        np.testing.assert_allclose(tcc_circular.matrix, tcc_circular.matrix.conj().T, atol=1e-12)
+
+    def test_positive_semidefinite(self, tcc_circular):
+        eigenvalues = np.linalg.eigvalsh(tcc_circular.matrix)
+        assert eigenvalues.min() > -1e-10
+
+    def test_dc_diagonal_is_largest(self, tcc_circular):
+        """T(0,0) — full source passing through the centred pupil — dominates the diagonal."""
+        diag = tcc_diagonal(tcc_circular)
+        centre = KERNEL_SHAPE[0] // 2
+        assert diag[centre, centre] == diag.max()
+
+    def test_dc_value_is_transmitted_fraction(self, tcc_circular):
+        """For sigma <= 1 the whole source passes the pupil, so T(0,0) == 1."""
+        diag = tcc_diagonal(tcc_circular)
+        centre = KERNEL_SHAPE[0] // 2
+        assert diag[centre, centre] == pytest.approx(1.0, abs=1e-9)
+
+    def test_diagonal_decays_away_from_dc(self, tcc_circular):
+        diag = tcc_diagonal(tcc_circular)
+        centre = KERNEL_SHAPE[0] // 2
+        assert diag[centre, centre] > diag[centre, -1]
+
+    def test_annular_differs_from_circular(self, tcc_circular, tcc_annular):
+        assert not np.allclose(tcc_circular.matrix, tcc_annular.matrix)
+
+    def test_invalid_kernel_shape(self):
+        with pytest.raises(ValueError):
+            compute_tcc(CircularSource(0.5), Pupil(), (0, 5), FIELD, WAVELENGTH, NA)
+
+    def test_defocus_changes_tcc(self):
+        focused = compute_tcc(CircularSource(0.6), Pupil(), (9, 9), FIELD, WAVELENGTH, NA)
+        defocused = compute_tcc(CircularSource(0.6), Pupil(defocus_nm=100.0), (9, 9),
+                                FIELD, WAVELENGTH, NA)
+        assert not np.allclose(focused.matrix, defocused.matrix)
+
+
+class TestSOCS:
+    def test_eigenvalues_sorted_and_non_negative(self, tcc_circular):
+        kernels = decompose_tcc(tcc_circular, max_order=12)
+        assert np.all(kernels.eigenvalues >= 0)
+        assert np.all(np.diff(kernels.eigenvalues) <= 1e-12)
+
+    def test_max_order_respected(self, tcc_circular):
+        kernels = decompose_tcc(tcc_circular, max_order=5)
+        assert kernels.order == 5
+        assert kernels.kernels.shape == (5, *KERNEL_SHAPE)
+
+    def test_kernels_include_sqrt_eigenvalue(self, tcc_circular):
+        kernels = decompose_tcc(tcc_circular, max_order=6)
+        for i in range(kernels.order):
+            energy = np.sum(np.abs(kernels.kernels[i]) ** 2)
+            assert energy == pytest.approx(kernels.eigenvalues[i], rel=1e-9)
+
+    def test_reconstruction_improves_with_order(self, tcc_circular):
+        """More kernels reconstruct the TCC matrix more faithfully."""
+        def reconstruction_error(order):
+            kernels = decompose_tcc(tcc_circular, max_order=order)
+            flat = kernels.kernels.reshape(kernels.order, -1)
+            approx = np.einsum("ip,iq->pq", flat, np.conj(flat))  # sum_i k_i k_i^H
+            return np.linalg.norm(approx - tcc_circular.matrix)
+
+        assert reconstruction_error(20) < reconstruction_error(3)
+
+    def test_full_order_reconstructs_tcc(self, tcc_circular):
+        kernels = decompose_tcc(tcc_circular, max_order=None, energy_tolerance=0.0)
+        flat = kernels.kernels.reshape(kernels.order, -1)
+        approx = np.einsum("ip,iq->pq", flat, np.conj(flat))
+        relative = np.linalg.norm(approx - tcc_circular.matrix) / np.linalg.norm(tcc_circular.matrix)
+        assert relative < 1e-6
+
+    def test_energy_captured_monotone(self, tcc_circular):
+        low = decompose_tcc(tcc_circular, max_order=2).energy_captured()
+        high = decompose_tcc(tcc_circular, max_order=20).energy_captured()
+        assert 0 < low <= high <= 1.0 + 1e-12
+
+    def test_eigenvalues_decay_fast(self, tcc_circular):
+        """The paper's premise: a few dozen kernels capture essentially all energy."""
+        kernels = decompose_tcc(tcc_circular, max_order=24)
+        assert kernels.energy_captured() > 0.95
+
+    def test_kernels_from_matrix_helper(self):
+        rng = np.random.default_rng(0)
+        basis = rng.normal(size=(9, 9)) + 1j * rng.normal(size=(9, 9))
+        matrix = basis @ basis.conj().T
+        kernels = kernels_from_matrix(matrix, (3, 3), max_order=4)
+        assert kernels.kernels.shape == (4, 3, 3)
+
+
+class TestTruncationBound:
+    def test_zero_discard_for_full_order(self, tcc_circular):
+        assert truncation_error_bound(tcc_circular, tcc_circular.order) == pytest.approx(0.0)
+
+    def test_bound_decreases_with_order(self, tcc_circular):
+        assert (truncation_error_bound(tcc_circular, 2)
+                > truncation_error_bound(tcc_circular, 10)
+                >= truncation_error_bound(tcc_circular, 50))
+
+    def test_bound_is_a_fraction(self, tcc_circular):
+        bound = truncation_error_bound(tcc_circular, 1)
+        assert 0.0 <= bound <= 1.0

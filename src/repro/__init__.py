@@ -7,6 +7,9 @@ Subpackages
     Complex-valued autograd substrate (layers, optimizers) replacing PyTorch.
 ``repro.optics``
     Hopkins / TCC / SOCS partially-coherent imaging (golden simulator).
+``repro.engine``
+    Unified execution layer: vectorised batched imaging, the process-wide
+    kernel-bank cache and guard-banded large-layout tiling.
 ``repro.masks``
     Synthetic benchmark layouts, OPC and dataset assembly.
 ``repro.core``

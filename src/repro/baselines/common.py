@@ -25,7 +25,7 @@ from .. import nn
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 from ..optics.resist import ConstantThresholdResist
-from ..utils.imaging import fourier_resize
+from ..utils.imaging import fourier_resize_batch
 
 
 class ImageToImageModel:
@@ -59,12 +59,12 @@ class ImageToImageModel:
         res = self.work_resolution
         if images.shape[-1] == res:
             return images
-        return np.stack([fourier_resize(img, (res, res)) for img in images], axis=0)
+        return fourier_resize_batch(images, (res, res))
 
     def _to_full(self, images: np.ndarray, tile_size: int) -> np.ndarray:
         if images.shape[-1] == tile_size:
             return images
-        return np.stack([fourier_resize(img, (tile_size, tile_size)) for img in images], axis=0)
+        return fourier_resize_batch(images, (tile_size, tile_size))
 
     # ------------------------------------------------------------------ #
     # training
@@ -134,10 +134,17 @@ class ImageToImageModel:
         return self.resist_model.develop(self.predict_aerial(mask))
 
     def predict_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Aerial predictions for a whole batch in one network forward pass."""
         masks = np.asarray(masks, dtype=float)
         if masks.ndim == 2:
             masks = masks[None]
-        return np.stack([self.predict_aerial(mask) for mask in masks], axis=0)
+        tile_size = masks.shape[-1]
+        work = self._to_work(masks)[:, None, :, :]
+        self.network.eval()
+        predictions = self.network(Tensor(work)).data[:, 0]
+        self.network.train()
+        full = self._to_full(predictions, tile_size)
+        return np.clip(full, 0.0, None)
 
     # ------------------------------------------------------------------ #
     # bookkeeping

@@ -121,6 +121,7 @@ class NithoModel:
 
         self.resist_model = ConstantThresholdResist(self.optics.resist_threshold)
         self._exported_kernels: Optional[np.ndarray] = None
+        self._engine = None
         self.history: List[float] = []
 
     # ------------------------------------------------------------------ #
@@ -145,11 +146,12 @@ class NithoModel:
         masks = np.asarray(masks, dtype=float)
         if masks.ndim == 2:
             masks = masks[None]
-        return np.stack([mask_spectrum(mask, self.kernel_shape) for mask in masks], axis=0)
+        # mask_spectrum transforms the last two axes, so one call handles the batch.
+        return mask_spectrum(masks, self.kernel_shape)
 
     def prepare_targets(self, aerials: np.ndarray) -> np.ndarray:
         """Resample golden aerial images to the training-loss resolution."""
-        from ..utils.imaging import fourier_resize
+        from ..utils.imaging import fourier_resize_batch
 
         aerials = np.asarray(aerials, dtype=float)
         if aerials.ndim == 2:
@@ -157,7 +159,7 @@ class NithoModel:
         res = self.train_resolution
         if res == aerials.shape[-2:]:
             return aerials
-        return np.stack([fourier_resize(a, res) for a in aerials], axis=0)
+        return fourier_resize_batch(aerials, res)
 
     # ------------------------------------------------------------------ #
     # differentiable forward pass
@@ -212,6 +214,7 @@ class NithoModel:
         history = trainer.fit(masks, aerials, epochs=epochs, verbose=verbose)
         self.history.extend(history)
         self._exported_kernels = None
+        self._engine = None
         return history
 
     # ------------------------------------------------------------------ #
@@ -234,10 +237,24 @@ class NithoModel:
         return self.resist_model.develop(self.predict_aerial(mask))
 
     def predict_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Aerial images for a mask batch through the vectorised execution engine."""
         masks = np.asarray(masks, dtype=float)
         if masks.ndim == 2:
             masks = masks[None]
-        return np.stack([self.predict_aerial(mask) for mask in masks], axis=0)
+        return self.execution_engine().aerial_batch(masks)
+
+    def execution_engine(self) -> "ExecutionEngine":
+        """Batched :class:`~repro.engine.execution.ExecutionEngine` over the
+        exported kernel bank — the production fast-lithography entry point
+        (supports batching, chunking and whole-layout tiling).  Memoised
+        alongside the exported kernels and rebuilt after retraining."""
+        from ..engine.execution import ExecutionEngine
+
+        if self._engine is None:
+            self._engine = ExecutionEngine(self.export_kernels(),
+                                           resist_threshold=self.optics.resist_threshold,
+                                           tile_size_px=self.optics.tile_size_px)
+        return self._engine
 
     # ------------------------------------------------------------------ #
     # bookkeeping
@@ -254,3 +271,4 @@ class NithoModel:
     def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
         self.network.load_state_dict(state)
         self._exported_kernels = None
+        self._engine = None

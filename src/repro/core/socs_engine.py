@@ -2,67 +2,74 @@
 
 After training, Nitho's predicted kernels are stored exactly like calibrated
 TCC kernels; imaging new masks is then a handful of FFTs with no network
-inference.  This module provides that engine for *any* kernel bank — golden
-SOCS kernels from :mod:`repro.optics.socs` or learned kernels exported from a
-:class:`~repro.core.nitho.NithoModel` — so the same code path serves the
-simulator, the model and the throughput benchmarks.
+inference.  :class:`KernelBankEngine` provides that interface for *any*
+kernel bank — golden SOCS kernels from :mod:`repro.optics.socs` or learned
+kernels exported from a :class:`~repro.core.nitho.NithoModel` — and is now a
+thin tile-size-checking veneer over the unified
+:class:`~repro.engine.execution.ExecutionEngine`, so the simulator, the model
+and the throughput benchmarks all share the same vectorised batched hot path.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Optional
 
 import numpy as np
 
-from ..optics.aerial import aerial_from_kernels
-from ..optics.resist import ConstantThresholdResist
+from ..engine.execution import ExecutionEngine
 
 
-class KernelBankEngine:
-    """Forward lithography from a fixed stack of frequency-domain kernels."""
+class KernelBankEngine(ExecutionEngine):
+    """Forward lithography from a fixed stack of frequency-domain kernels.
+
+    Inherits the vectorised batch / layout machinery from
+    :class:`~repro.engine.execution.ExecutionEngine` and adds the historical
+    per-tile shape validation: when ``tile_size_px`` is given, single-tile
+    calls reject masks of any other size.
+    """
 
     def __init__(self, kernels: np.ndarray, resist_threshold: float = 0.225,
-                 tile_size_px: Optional[int] = None):
-        kernels = np.asarray(kernels)
-        if kernels.ndim != 3:
-            raise ValueError("kernels must have shape (r, n, m)")
-        self.kernels = kernels.astype(np.complex128)
-        self.resist_model = ConstantThresholdResist(resist_threshold)
-        self.tile_size_px = tile_size_px
+                 tile_size_px: Optional[int] = None, **kwargs):
+        super().__init__(kernels, resist_threshold=resist_threshold,
+                         tile_size_px=tile_size_px, **kwargs)
 
-    @property
-    def order(self) -> int:
-        return self.kernels.shape[0]
-
-    @property
-    def kernel_shape(self) -> Tuple[int, int]:
-        return self.kernels.shape[1], self.kernels.shape[2]
+    def _check_tile(self, mask: np.ndarray) -> np.ndarray:
+        mask = np.asarray(mask, dtype=float)
+        if self.tile_size_px is not None and mask.shape[-2:] != (self.tile_size_px,
+                                                                 self.tile_size_px):
+            raise ValueError(
+                f"mask shape {mask.shape[-2:]} does not match engine tile {self.tile_size_px}")
+        return mask
 
     def aerial(self, mask: np.ndarray) -> np.ndarray:
         """Aerial image of one mask tile."""
-        mask = np.asarray(mask, dtype=float)
-        if self.tile_size_px is not None and mask.shape != (self.tile_size_px, self.tile_size_px):
-            raise ValueError(
-                f"mask shape {mask.shape} does not match engine tile {self.tile_size_px}")
-        return aerial_from_kernels(mask, self.kernels)
-
-    def resist(self, mask: np.ndarray) -> np.ndarray:
-        return self.resist_model.develop(self.aerial(mask))
+        return super().aerial(self._check_tile(mask))
 
     def aerial_batch(self, masks: Iterable[np.ndarray]) -> np.ndarray:
-        return np.stack([self.aerial(mask) for mask in masks], axis=0)
-
-    def resist_batch(self, masks: Iterable[np.ndarray]) -> np.ndarray:
-        return np.stack([self.resist(mask) for mask in masks], axis=0)
+        """Aerial images of a batch of tiles in one vectorised pass."""
+        if not isinstance(masks, np.ndarray):
+            masks = np.stack([np.asarray(mask, dtype=float) for mask in masks], axis=0)
+        masks = np.asarray(masks, dtype=float)
+        if masks.ndim != 3:
+            raise ValueError("masks must have shape (B, H, W)")
+        return super().aerial_batch(self._check_tile(masks))
 
     def truncate(self, order: int) -> "KernelBankEngine":
-        """Return a new engine keeping only the first ``order`` kernels."""
+        """Return a new engine keeping only the first ``order`` kernels.
+
+        Raises
+        ------
+        ValueError
+            If ``order`` is not positive or exceeds the available kernel
+            count (the seed silently returned the full bank in that case).
+        """
         if order <= 0:
             raise ValueError("order must be positive")
+        if order > self.order:
+            raise ValueError(
+                f"cannot truncate to {order} kernels: engine only holds {self.order}")
         return KernelBankEngine(self.kernels[:order],
                                 resist_threshold=self.resist_model.threshold,
-                                tile_size_px=self.tile_size_px)
-
-    def kernel_energy(self) -> np.ndarray:
-        """Per-kernel energy ``sum |K_i|^2`` — proportional to the SOCS eigenvalues."""
-        return np.sum(np.abs(self.kernels) ** 2, axis=(1, 2))
+                                tile_size_px=self.tile_size_px,
+                                band_limited=self.band_limited,
+                                max_chunk_elements=self.max_chunk_elements)

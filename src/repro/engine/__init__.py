@@ -1,0 +1,50 @@
+"""Unified forward-lithography execution layer.
+
+Everything that images masks — the golden simulator, the kernel-bank engine,
+Nitho's fast-lithography export, the baselines' batch inference and the
+throughput benchmarks — runs through this package:
+
+* :mod:`repro.engine.batched` — the vectorised batched SOCS core (one
+  broadcast FFT pipeline per batch, band-limited fast evaluation, bounded
+  memory via chunking),
+* :mod:`repro.engine.cache` — the process-wide kernel-bank cache keyed by an
+  optics fingerprint (TCC + eigendecomposition computed at most once per
+  process, optional on-disk persistence),
+* :mod:`repro.engine.tiling` — guard-banded splitting / stitching of
+  arbitrary ``(H, W)`` layouts, and
+* :mod:`repro.engine.execution` — the :class:`ExecutionEngine` facade tying
+  the three together.
+"""
+
+from .batched import (
+    DEFAULT_MAX_CHUNK_ELEMENTS,
+    batch_chunk_size,
+    batched_aerial_from_kernels,
+    batched_resist_from_kernels,
+)
+from .cache import (
+    CacheStats,
+    KernelBankCache,
+    configure_default_cache,
+    default_kernel_cache,
+    optics_fingerprint,
+)
+from .execution import ExecutionEngine, LayoutImage
+from .tiling import (
+    TilePlacement,
+    TilingSpec,
+    default_guard_px,
+    extract_tiles,
+    plan_tiles,
+    stitch_tiles,
+)
+
+__all__ = [
+    "DEFAULT_MAX_CHUNK_ELEMENTS", "batch_chunk_size",
+    "batched_aerial_from_kernels", "batched_resist_from_kernels",
+    "CacheStats", "KernelBankCache", "configure_default_cache",
+    "default_kernel_cache", "optics_fingerprint",
+    "ExecutionEngine", "LayoutImage",
+    "TilingSpec", "TilePlacement", "default_guard_px",
+    "plan_tiles", "extract_tiles", "stitch_tiles",
+]

@@ -1,0 +1,157 @@
+"""Truly vectorised batched SOCS imaging — the engine's numerical core.
+
+The seed code imaged batches of masks by looping the single-tile path in
+Python.  Here a whole batch ``(B, H, W)`` moves through the pipeline as one
+array program:
+
+1. one broadcast ``fft2`` produces every mask spectrum at once,
+2. one broadcast multiply forms the ``(B, r, n, m)`` kernel products,
+3. one batched ``ifft2`` returns the coherent fields, and
+4. a reduction over the kernel axis yields the aerial intensities.
+
+On top of the plain batched evaluation, :func:`batched_aerial_from_kernels`
+exploits the paper's band-limit argument (Eq. (10)) for a large additional
+speed-up: the coherent fields only carry ``n x m`` frequency samples, so the
+intensity — whose spectrum is the autocorrelation of the field spectrum — is
+band-limited to ``(2n - 1) x (2m - 1)`` samples.  The intensity is therefore
+evaluated exactly on a small ``2n x 2m`` grid and Fourier-upsampled (zero-pad
+in the frequency domain, an exact sinc interpolation for band-limited
+signals) to the requested output resolution.  This replaces ``r`` full-size
+inverse FFTs per mask with ``r`` kernel-window-size FFTs plus one full-size
+FFT pair, and is numerically equivalent to the direct path to floating-point
+rounding.
+
+Memory is bounded by chunking the batch axis so the intermediate
+``(B, r, ...)`` product array never exceeds ``max_chunk_elements`` complex
+samples; within a chunk everything is a single vectorised expression.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..optics.aerial import mask_spectrum
+from ..optics.grid import embed_centre
+
+#: Upper bound on the number of complex samples held by any per-chunk
+#: intermediate — the ``(B, r, ...)`` kernel-product stack and the
+#: ``(B, H, W)`` upsampling spectra alike (2**24 complex128 samples =
+#: 256 MiB), keeping peak memory flat for arbitrarily large batches.
+DEFAULT_MAX_CHUNK_ELEMENTS = 2 ** 24
+
+
+def _as_mask_batch(masks: np.ndarray) -> np.ndarray:
+    masks = np.asarray(masks, dtype=float)
+    if masks.ndim != 3:
+        raise ValueError("masks must have shape (B, H, W)")
+    return masks
+
+
+def _as_kernel_stack(kernels: np.ndarray) -> np.ndarray:
+    kernels = np.asarray(kernels)
+    if kernels.ndim != 3:
+        raise ValueError("kernels must have shape (r, n, m)")
+    return kernels
+
+
+def _direct_chunk(masks: np.ndarray, kernels: np.ndarray,
+                  out_h: int, out_w: int) -> np.ndarray:
+    """Plain batched evaluation at full output resolution (reference path)."""
+    n, m = kernels.shape[-2], kernels.shape[-1]
+    spectra = mask_spectrum(masks, (n, m))                    # (B, n, m)
+    products = kernels[None, :, :, :] * spectra[:, None, :, :]  # (B, r, n, m)
+    embedded = embed_centre(products, out_h, out_w)
+    fields = np.fft.ifft2(np.fft.ifftshift(embedded, axes=(-2, -1)), norm="ortho")
+    return np.sum(np.abs(fields) ** 2, axis=1)
+
+
+def _band_limited_chunk(masks: np.ndarray, kernels: np.ndarray,
+                        out_h: int, out_w: int) -> np.ndarray:
+    """Exact evaluation on the intensity band-limit grid + Fourier upsampling."""
+    n, m = kernels.shape[-2], kernels.shape[-1]
+    small_h, small_w = 2 * n, 2 * m
+
+    spectra = mask_spectrum(masks, (n, m))
+    products = kernels[None, :, :, :] * spectra[:, None, :, :]
+    embedded = embed_centre(products, small_h, small_w)
+    fields = np.fft.ifft2(np.fft.ifftshift(embedded, axes=(-2, -1)), norm="ortho")
+    small = np.sum(np.abs(fields) ** 2, axis=1)               # (B, 2n, 2m)
+
+    # The intensity spectrum occupies (2n - 1) x (2m - 1) centred samples, so
+    # zero-padding it to (out_h, out_w) is an exact sinc interpolation.  The
+    # "forward" norm preserves sample values; the area ratio restores the
+    # orthonormal-FFT intensity scale of the full-resolution evaluation.
+    spectrum = np.fft.fftshift(np.fft.fft2(small, norm="forward"), axes=(-2, -1))
+    padded = embed_centre(spectrum, out_h, out_w)
+    upsampled = np.real(np.fft.ifft2(np.fft.ifftshift(padded, axes=(-2, -1)),
+                                     norm="forward"))
+    return upsampled * (small_h * small_w) / float(out_h * out_w)
+
+
+def batch_chunk_size(batch: int, order: int, height: int, width: int,
+                     max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS) -> int:
+    """Largest per-chunk batch size keeping ``chunk * r * H * W`` under the cap."""
+    if max_chunk_elements <= 0:
+        return batch
+    per_mask = max(1, order * height * width)
+    return int(np.clip(max_chunk_elements // per_mask, 1, max(batch, 1)))
+
+
+def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
+                                output_shape: Optional[Tuple[int, int]] = None,
+                                band_limited: bool = True,
+                                max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS,
+                                ) -> np.ndarray:
+    """Aerial images of a mask batch ``(B, H, W)`` -> ``(B, H, W)``.
+
+    Parameters
+    ----------
+    masks:
+        Real mask batch ``(B, H, W)``; any real dtype is accepted.
+    kernels:
+        Complex frequency-domain kernel stack ``(r, n, m)`` (centred DC),
+        each kernel already scaled by ``sqrt(eigenvalue)``.
+    output_shape:
+        Resolution of the returned aerial images; defaults to the mask shape.
+    band_limited:
+        Evaluate on the intensity band-limit grid and Fourier-upsample
+        (exact, and much faster whenever ``2n < H``).  The direct full-size
+        path is used automatically when it is the cheaper or the only exact
+        option.
+    max_chunk_elements:
+        Memory cap for the ``(chunk, r, ...)`` intermediates; see
+        :data:`DEFAULT_MAX_CHUNK_ELEMENTS`.
+    """
+    masks = _as_mask_batch(masks)
+    kernels = _as_kernel_stack(kernels)
+    batch = masks.shape[0]
+    out_h, out_w = masks.shape[-2:] if output_shape is None else output_shape
+    order, n, m = kernels.shape
+
+    use_fast = band_limited and 2 * n <= out_h and 2 * m <= out_w
+    work_h, work_w = (2 * n, 2 * m) if use_fast else (out_h, out_w)
+    evaluate = _band_limited_chunk if use_fast else _direct_chunk
+
+    if batch == 0:
+        return np.zeros((0, out_h, out_w))
+
+    # Bound BOTH intermediates: the (chunk, r, work_h, work_w) kernel-product
+    # stack and — on the fast path — the (chunk, out_h, out_w) complex arrays
+    # of the Fourier upsampling step.
+    chunk = min(batch_chunk_size(batch, order, work_h, work_w, max_chunk_elements),
+                batch_chunk_size(batch, 1, out_h, out_w, max_chunk_elements))
+    if chunk >= batch:
+        return evaluate(masks, kernels, out_h, out_w)
+    pieces = [evaluate(masks[start:start + chunk], kernels, out_h, out_w)
+              for start in range(0, batch, chunk)]
+    return np.concatenate(pieces, axis=0)
+
+
+def batched_resist_from_kernels(masks: np.ndarray, kernels: np.ndarray,
+                                threshold: float,
+                                **kwargs) -> np.ndarray:
+    """Binary resist batch via constant-threshold development of the aerial batch."""
+    aerial = batched_aerial_from_kernels(masks, kernels, **kwargs)
+    return (aerial > threshold).astype(np.uint8)

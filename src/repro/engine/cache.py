@@ -1,0 +1,239 @@
+"""Process-wide kernel-bank cache keyed by an optics fingerprint.
+
+The expensive part of SOCS imaging is building the kernel bank: the TCC
+matrix (``O((n m)^2)`` accumulation) followed by a dense Hermitian
+eigendecomposition.  The seed recomputed both in every simulator, engine and
+experiment that needed kernels.  This module computes them **once per optics
+fingerprint per process** and shares the result between the golden simulator,
+:class:`~repro.core.socs_engine.KernelBankEngine`, the experiment drivers and
+the throughput benchmarks.
+
+The fingerprint hashes everything that determines the kernel bank:
+
+* the :class:`~repro.optics.simulator.OpticsConfig` fields (wavelength, NA,
+  pixel pitch, tile size, defocus — the resist threshold is excluded because
+  it does not affect the kernels),
+* the source model (class + parameters; pixelated maps are hashed by value),
+* the pupil model (defocus, Zernike coefficients, apodization).
+
+The TCC and the SOCS decomposition are cached under separate keys so that two
+consumers sharing optics but using different ``max_socs_order`` truncations
+share the single TCC computation.  Setting a ``cache_dir`` (or the
+``REPRO_KERNEL_CACHE_DIR`` environment variable for the default cache) also
+persists decomposed kernel banks to disk as ``.npz`` files, letting separate
+processes skip the eigendecomposition entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..optics.pupil import Pupil
+from ..optics.socs import SOCSKernels, decompose_tcc
+from ..optics.source import Source
+from ..optics.tcc import TCCResult, compute_tcc
+
+
+def _describe_value(value) -> str:
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha1(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return f"ndarray[{value.shape}]:{digest}"
+    if isinstance(value, dict):
+        items = ",".join(f"{key}={_describe_value(value[key])}" for key in sorted(value))
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_describe_value(item) for item in value) + "]"
+    return repr(value)
+
+
+def describe_component(component) -> str:
+    """Stable textual description of a source / pupil / config object."""
+    name = type(component).__name__
+    if dataclasses.is_dataclass(component):
+        fields = {f.name: getattr(component, f.name)
+                  for f in dataclasses.fields(component)}
+    elif hasattr(component, "__dict__"):
+        fields = dict(vars(component))
+    else:
+        return f"{name}({component!r})"
+    body = ",".join(f"{key}={_describe_value(fields[key])}" for key in sorted(fields))
+    return f"{name}({body})"
+
+
+def optics_fingerprint(config, source: Source, pupil: Pupil) -> str:
+    """Hex digest identifying an imaging system up to its kernel bank."""
+    parts = [
+        f"wavelength={config.wavelength_nm!r}",
+        f"na={config.numerical_aperture!r}",
+        f"pixel={config.pixel_size_nm!r}",
+        f"tile={config.tile_size_px!r}",
+        f"defocus={getattr(config, 'defocus_nm', 0.0)!r}",
+        describe_component(source),
+        describe_component(pupil),
+    ]
+    return hashlib.sha1("|".join(parts).encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Observable counters for the cache-behaviour regression tests."""
+
+    tcc_computes: int = 0
+    decompositions: int = 0
+    hits: int = 0
+    misses: int = 0
+    disk_loads: int = 0
+
+
+class KernelBankCache:
+    """Thread-safe cache of TCC matrices and SOCS kernel banks.
+
+    Parameters
+    ----------
+    cache_dir:
+        Optional directory for on-disk persistence of decomposed kernel
+        banks (created on first write).  ``None`` keeps the cache purely
+        in-memory.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None):
+        self.cache_dir = cache_dir
+        self.stats = CacheStats()
+        self._tccs: Dict[str, TCCResult] = {}
+        self._banks: Dict[str, SOCSKernels] = {}
+        self._lock = threading.RLock()
+
+    # ------------------------------------------------------------------ #
+    # keys
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def fingerprint(config, source: Source, pupil: Pupil) -> str:
+        return optics_fingerprint(config, source, pupil)
+
+    @staticmethod
+    def _bank_key(fingerprint: str, max_order: Optional[int]) -> str:
+        return f"{fingerprint}|order={max_order}"
+
+    def _kernel_shape(self, config) -> Tuple[int, int]:
+        from ..core.kernel_dims import kernel_dimensions  # avoid a core<->engine cycle
+
+        return kernel_dimensions(
+            config.tile_size_px, config.tile_size_px,
+            wavelength_nm=config.wavelength_nm,
+            numerical_aperture=config.numerical_aperture,
+            pixel_size_nm=config.pixel_size_nm)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def get_tcc(self, config, source: Source, pupil: Pupil) -> TCCResult:
+        """TCC matrix for the fingerprinted optics, computed at most once."""
+        key = self.fingerprint(config, source, pupil)
+        with self._lock:
+            cached = self._tccs.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            self.stats.tcc_computes += 1
+            result = compute_tcc(
+                source, pupil, self._kernel_shape(config),
+                field_size_nm=config.field_size_nm,
+                wavelength_nm=config.wavelength_nm,
+                numerical_aperture=config.numerical_aperture)
+            self._tccs[key] = result
+            return result
+
+    def get_kernels(self, config, source: Source, pupil: Pupil,
+                    max_order: Optional[int] = None) -> SOCSKernels:
+        """SOCS kernel bank for the fingerprinted optics, decomposed at most once.
+
+        ``max_order`` defaults to ``config.max_socs_order`` when the config
+        carries one.
+        """
+        if max_order is None:
+            max_order = getattr(config, "max_socs_order", None)
+        fingerprint = self.fingerprint(config, source, pupil)
+        key = self._bank_key(fingerprint, max_order)
+        with self._lock:
+            cached = self._banks.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            loaded = self._load_from_disk(key)
+            if loaded is not None:
+                self.stats.misses += 1
+                self.stats.disk_loads += 1
+                self._banks[key] = loaded
+                return loaded
+            tcc = self.get_tcc(config, source, pupil)
+            self.stats.misses += 1
+            self.stats.decompositions += 1
+            bank = decompose_tcc(tcc, max_order=max_order)
+            self._banks[key] = bank
+            self._save_to_disk(key, bank)
+            return bank
+
+    def clear(self) -> None:
+        """Drop every in-memory entry and reset the counters (disk is kept)."""
+        with self._lock:
+            self._tccs.clear()
+            self._banks.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._banks)
+
+    # ------------------------------------------------------------------ #
+    # on-disk persistence
+    # ------------------------------------------------------------------ #
+    def _disk_path(self, key: str) -> Optional[str]:
+        if not self.cache_dir:
+            return None
+        digest = hashlib.sha1(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.cache_dir, f"kernels-{digest}.npz")
+
+    def _save_to_disk(self, key: str, bank: SOCSKernels) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        os.makedirs(self.cache_dir, exist_ok=True)
+        np.savez_compressed(path,
+                            kernels=bank.kernels,
+                            eigenvalues=bank.eigenvalues,
+                            kernel_shape=np.asarray(bank.kernel_shape),
+                            total_energy=np.asarray(bank.total_energy))
+
+    def _load_from_disk(self, key: str) -> Optional[SOCSKernels]:
+        path = self._disk_path(key)
+        if path is None or not os.path.exists(path):
+            return None
+        with np.load(path) as data:
+            return SOCSKernels(
+                kernels=data["kernels"],
+                eigenvalues=data["eigenvalues"],
+                kernel_shape=tuple(int(v) for v in data["kernel_shape"]),
+                total_energy=float(data["total_energy"]))
+
+
+_default_cache = KernelBankCache(cache_dir=os.environ.get("REPRO_KERNEL_CACHE_DIR"))
+
+
+def default_kernel_cache() -> KernelBankCache:
+    """The process-wide cache shared by simulators, engines and experiments."""
+    return _default_cache
+
+
+def configure_default_cache(cache_dir: Optional[str]) -> KernelBankCache:
+    """Replace the process-wide cache (e.g. to enable on-disk persistence)."""
+    global _default_cache
+    _default_cache = KernelBankCache(cache_dir=cache_dir)
+    return _default_cache

@@ -1,0 +1,200 @@
+"""The unified forward-lithography execution engine.
+
+``ExecutionEngine`` is the one object the rest of the codebase images masks
+through.  It owns a fixed frequency-domain kernel bank — golden SOCS kernels,
+learned Nitho kernels, anything of shape ``(r, n, m)`` — and provides:
+
+* vectorised single-tile and batched imaging (:meth:`aerial`,
+  :meth:`aerial_batch`, :meth:`resist`, :meth:`resist_batch`) built on
+  :mod:`repro.engine.batched`,
+* large-layout imaging (:meth:`image_layout`) via the guard-banded tiling
+  pipeline in :mod:`repro.engine.tiling`, lifting the historical
+  "exactly one tile" restriction, and
+* construction from an optics description (:meth:`for_optics`) through the
+  process-wide kernel-bank cache in :mod:`repro.engine.cache`, so the TCC +
+  eigendecomposition for a given optics fingerprint happens at most once per
+  process no matter how many simulators, experiments or benchmarks ask.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from ..optics.resist import ConstantThresholdResist
+from .batched import (
+    DEFAULT_MAX_CHUNK_ELEMENTS,
+    batched_aerial_from_kernels,
+)
+from .cache import KernelBankCache, default_kernel_cache
+from .tiling import TilingSpec, default_guard_px, extract_tiles, stitch_tiles
+
+
+@dataclass(frozen=True)
+class LayoutImage:
+    """Result of imaging a full layout: stitched aerial + resist + provenance."""
+
+    aerial: np.ndarray
+    resist: np.ndarray
+    tiling: TilingSpec
+    num_tiles: int
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.aerial.shape
+
+
+class ExecutionEngine:
+    """Batched, cached, tiling-aware forward lithography from a kernel bank."""
+
+    def __init__(self, kernels: np.ndarray, resist_threshold: float = 0.225,
+                 tile_size_px: Optional[int] = None,
+                 band_limited: bool = True,
+                 max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS):
+        kernels = np.asarray(kernels)
+        if kernels.ndim != 3:
+            raise ValueError("kernels must have shape (r, n, m)")
+        self.kernels = kernels.astype(np.complex128)
+        self.resist_model = ConstantThresholdResist(resist_threshold)
+        #: Tile size the kernel bank was calibrated for.  The kernels sample
+        #: frequencies at spacing ``1 / (tile_size_px * pixel_size)``, so
+        #: imaging masks of a different size re-interprets them on a
+        #: different physical grid; layout tiling always uses this size.
+        self.tile_size_px = tile_size_px
+        self.band_limited = band_limited
+        self.max_chunk_elements = max_chunk_elements
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_optics(cls, config, source=None, pupil=None,
+                   cache: Optional[KernelBankCache] = None,
+                   **kwargs) -> "ExecutionEngine":
+        """Engine for an optics description, kernels served by the shared cache.
+
+        ``source`` / ``pupil`` default to the golden simulator's defaults
+        (annular illumination, ideal pupil plus the configured defocus).
+        """
+        from ..optics.pupil import Pupil
+        from ..optics.source import AnnularSource
+
+        source = source or AnnularSource(sigma_inner=0.5, sigma_outer=0.8)
+        pupil = pupil or Pupil(defocus_nm=config.defocus_nm)
+        cache = cache or default_kernel_cache()
+        bank = cache.get_kernels(config, source, pupil)
+        kwargs.setdefault("resist_threshold", config.resist_threshold)
+        kwargs.setdefault("tile_size_px", config.tile_size_px)
+        return cls(bank.kernels, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # kernel bank
+    # ------------------------------------------------------------------ #
+    @property
+    def order(self) -> int:
+        return self.kernels.shape[0]
+
+    @property
+    def kernel_shape(self) -> Tuple[int, int]:
+        return self.kernels.shape[1], self.kernels.shape[2]
+
+    def truncate(self, order: int) -> "ExecutionEngine":
+        """New engine keeping only the ``order`` most energetic kernels."""
+        if order <= 0:
+            raise ValueError("order must be positive")
+        if order > self.order:
+            raise ValueError(
+                f"cannot truncate to {order} kernels: only {self.order} available")
+        return type(self)(self.kernels[:order],
+                          resist_threshold=self.resist_model.threshold,
+                          tile_size_px=self.tile_size_px,
+                          band_limited=self.band_limited,
+                          max_chunk_elements=self.max_chunk_elements)
+
+    def kernel_energy(self) -> np.ndarray:
+        """Per-kernel energy ``sum |K_i|^2`` — proportional to the SOCS eigenvalues."""
+        return np.sum(np.abs(self.kernels) ** 2, axis=(1, 2))
+
+    # ------------------------------------------------------------------ #
+    # imaging
+    # ------------------------------------------------------------------ #
+    def aerial_batch(self, masks: np.ndarray,
+                     output_shape: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """Aerial images of a mask batch ``(B, H, W)`` in one vectorised pass."""
+        masks = np.stack([np.asarray(mask, dtype=float) for mask in masks], axis=0) \
+            if isinstance(masks, (list, tuple)) else np.asarray(masks, dtype=float)
+        return batched_aerial_from_kernels(
+            masks, self.kernels, output_shape=output_shape,
+            band_limited=self.band_limited,
+            max_chunk_elements=self.max_chunk_elements)
+
+    def aerial(self, mask: np.ndarray) -> np.ndarray:
+        """Aerial image of one mask tile.
+
+        Dispatches straight to the single-tile reference path (no batch
+        stacking / chunk bookkeeping), which is the faster option for one
+        tile.  Masks of a size other than :attr:`tile_size_px` are accepted
+        but re-interpret the bank on a different frequency grid — exact only
+        at the calibrated tile size.
+        """
+        from ..optics.aerial import aerial_from_kernels
+
+        mask = np.asarray(mask, dtype=float)
+        if mask.ndim != 2:
+            raise ValueError("mask must be a 2-D image")
+        return aerial_from_kernels(mask, self.kernels)
+
+    def resist_batch(self, masks: np.ndarray) -> np.ndarray:
+        return self.resist_model.develop(self.aerial_batch(masks))
+
+    def resist(self, mask: np.ndarray) -> np.ndarray:
+        return self.resist_model.develop(self.aerial(mask))
+
+    # ------------------------------------------------------------------ #
+    # large layouts
+    # ------------------------------------------------------------------ #
+    def image_layout(self, layout: np.ndarray,
+                     tiling: Optional[TilingSpec] = None,
+                     tile_px: Optional[int] = None,
+                     guard_px: Optional[int] = None) -> LayoutImage:
+        """Image an arbitrary ``(H, W)`` layout by guard-banded tiling.
+
+        Parameters
+        ----------
+        tiling:
+            Explicit tile geometry; overrides ``tile_px`` / ``guard_px``.
+        tile_px:
+            Full tile size; defaults to the engine's calibrated
+            :attr:`tile_size_px`.  Tiles must match the size the kernel bank
+            was built for — the kernels sample the tile's frequency lattice
+            — so an engine without a known tile size requires an explicit
+            value.  Layouts smaller than one tile are handled by the
+            extractor (beyond-boundary content is an empty reticle).
+        guard_px:
+            Guard band per side; defaults to :func:`default_guard_px`
+            (one kernel window), the scale over which partially coherent
+            cross-talk decays.
+        """
+        layout = np.asarray(layout, dtype=float)
+        if layout.ndim != 2:
+            raise ValueError("layout must be a 2-D image")
+        if tiling is None:
+            if tile_px is None:
+                tile_px = self.tile_size_px
+            if tile_px is None:
+                raise ValueError(
+                    "engine has no calibrated tile size; pass tile_px or tiling "
+                    "matching the size the kernel bank was computed for")
+            if guard_px is None:
+                guard_px = default_guard_px(self.kernel_shape, tile_px)
+            tiling = TilingSpec(tile_px=int(tile_px), guard_px=int(guard_px))
+
+        height, width = layout.shape
+        tiles, placements = extract_tiles(layout, tiling)
+        aerial_tiles = self.aerial_batch(tiles)
+        aerial = stitch_tiles(aerial_tiles, placements, height, width, tiling)
+        resist = self.resist_model.develop(aerial)
+        return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,
+                           num_tiles=len(placements))

@@ -113,8 +113,8 @@ PRESETS: Dict[str, Dict[str, DatasetSpec]] = {
 
 
 def _simulate_batch(masks: np.ndarray, simulator: LithographySimulator) -> Tuple[np.ndarray, np.ndarray]:
-    aerials = np.stack([simulator.aerial(mask) for mask in masks], axis=0)
-    resists = np.stack([simulator.resist_model.develop(a) for a in aerials], axis=0)
+    aerials = simulator.aerial_batch(np.asarray(masks, dtype=float))
+    resists = simulator.resist_model.develop(aerials)
     return aerials, resists
 
 

@@ -1,9 +1,12 @@
 """Aerial-image formation from SOCS kernels (Eq. (4) / Eq. (9)).
 
-Two paths are provided:
+Three paths are provided:
 
-* a plain NumPy fast path used by the golden simulator and by Nitho's
-  post-training "fast lithography" mode, and
+* :func:`aerial_from_kernels` — the single-tile reference path used by the
+  golden simulator and pinned by the equivalence regression tests,
+* :func:`aerial_batch` — the broadcast batched evaluation (one FFT pipeline
+  for a whole ``(B, H, W)`` stack); the chunked, band-limited production
+  variant lives in :mod:`repro.engine.batched`, and
 * helper utilities shared with the differentiable training graph in
   :mod:`repro.core.nitho`.
 """
@@ -21,7 +24,9 @@ def mask_spectrum(mask: np.ndarray, kernel_shape: Optional[Tuple[int, int]] = No
     """Centred 2-D spectrum of a mask image, optionally cropped to the kernel window.
 
     Mirrors lines 6-7 of Algorithm 1: ``fftshift(fft2(M))`` followed by a
-    central crop to the optical-kernel dimensions.
+    central crop to the optical-kernel dimensions.  Accepts a single mask
+    ``(H, W)`` or a batch ``(..., H, W)``; the transform always acts on the
+    last two axes.
     """
     spectrum = np.fft.fftshift(np.fft.fft2(mask, norm="ortho"), axes=(-2, -1))
     if kernel_shape is not None:
@@ -60,10 +65,24 @@ def aerial_from_kernels(mask: np.ndarray, kernels: np.ndarray,
 
 
 def aerial_batch(masks: np.ndarray, kernels: np.ndarray) -> np.ndarray:
-    """Vectorised aerial computation for a batch of masks ``(B, H, W)``."""
+    """Aerial images of a mask batch ``(B, H, W)`` in one broadcast FFT pipeline.
+
+    This is the genuinely vectorised path (the seed version looped the
+    single-tile computation in Python): one batched ``fft2`` produces every
+    spectrum, one broadcast multiply forms the ``(B, r, n, m)`` kernel
+    products, and one batched ``ifft2`` plus a reduction over the kernel axis
+    yields the intensities.  The numerics live in
+    :func:`repro.engine.batched.batched_aerial_from_kernels`, which also
+    offers the chunked, band-limited production variant.
+    """
+    from ..engine.batched import batched_aerial_from_kernels  # deferred: engine imports optics
+
+    masks = np.asarray(masks)
     if masks.ndim != 3:
         raise ValueError("masks must have shape (B, H, W)")
-    return np.stack([aerial_from_kernels(mask, kernels) for mask in masks], axis=0)
+    if kernels.ndim != 3:
+        raise ValueError("kernels must have shape (r, n, m)")
+    return batched_aerial_from_kernels(masks, kernels, band_limited=False)
 
 
 def normalize_aerial(aerial: np.ndarray, clear_field_intensity: float) -> np.ndarray:

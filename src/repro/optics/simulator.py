@@ -4,6 +4,13 @@
 ("Lithosim" for the ICCAD-2013 data, Mentor Calibre for the ISPD-2019 data):
 given a mask tile it produces the golden aerial and resist images that the
 learned models are trained against.
+
+Kernel banks are served by the process-wide cache in
+:mod:`repro.engine.cache`, so any number of simulators sharing an optics
+fingerprint pay for the TCC + SOCS eigendecomposition exactly once.  Batched
+(:meth:`LithographySimulator.aerial_batch`) and whole-layout
+(:meth:`LithographySimulator.image_layout`) imaging run through the
+vectorised :class:`~repro.engine.execution.ExecutionEngine`.
 """
 
 from __future__ import annotations
@@ -17,9 +24,9 @@ from .aerial import aerial_from_kernels
 from .hopkins import abbe_aerial
 from .pupil import Pupil
 from .resist import ConstantThresholdResist
-from .socs import SOCSKernels, decompose_tcc
+from .socs import SOCSKernels
 from .source import AnnularSource, CircularSource, Source
-from .tcc import TCCResult, compute_tcc
+from .tcc import TCCResult
 
 
 @dataclass(frozen=True)
@@ -70,13 +77,16 @@ class LithographySimulator:
 
     def __init__(self, config: Optional[OpticsConfig] = None,
                  source: Optional[Source] = None,
-                 pupil: Optional[Pupil] = None):
+                 pupil: Optional[Pupil] = None,
+                 cache=None):
         self.config = config or OpticsConfig()
         self.source = source or AnnularSource(sigma_inner=0.5, sigma_outer=0.8)
         self.pupil = pupil or Pupil(defocus_nm=self.config.defocus_nm)
         self.resist_model = ConstantThresholdResist(self.config.resist_threshold)
+        self._cache = cache
         self._tcc: Optional[TCCResult] = None
         self._kernels: Optional[SOCSKernels] = None
+        self._engine = None
 
     # ------------------------------------------------------------------ #
     # kernel bank
@@ -93,20 +103,45 @@ class LithographySimulator:
             pixel_size_nm=self.config.pixel_size_nm)
 
     @property
+    def kernel_cache(self):
+        """The kernel-bank cache serving this simulator (process-wide by default)."""
+        if self._cache is None:
+            from ..engine.cache import default_kernel_cache
+
+            self._cache = default_kernel_cache()
+        return self._cache
+
+    @property
     def tcc(self) -> TCCResult:
+        """TCC matrix, computed at most once per optics fingerprint per process.
+
+        Memoised on the instance (the optics are treated as immutable after
+        construction, as in the seed) and resolved through the shared cache
+        on first access.
+        """
         if self._tcc is None:
-            self._tcc = compute_tcc(
-                self.source, self.pupil, self.kernel_shape,
-                field_size_nm=self.config.field_size_nm,
-                wavelength_nm=self.config.wavelength_nm,
-                numerical_aperture=self.config.numerical_aperture)
+            self._tcc = self.kernel_cache.get_tcc(self.config, self.source, self.pupil)
         return self._tcc
 
     @property
     def kernels(self) -> SOCSKernels:
+        """SOCS kernel bank, decomposed at most once per optics fingerprint."""
         if self._kernels is None:
-            self._kernels = decompose_tcc(self.tcc, max_order=self.config.max_socs_order)
+            self._kernels = self.kernel_cache.get_kernels(
+                self.config, self.source, self.pupil,
+                max_order=self.config.max_socs_order)
         return self._kernels
+
+    @property
+    def engine(self):
+        """The batched :class:`~repro.engine.execution.ExecutionEngine` over this bank."""
+        if self._engine is None:
+            from ..engine.execution import ExecutionEngine
+
+            self._engine = ExecutionEngine(self.kernels.kernels,
+                                           resist_threshold=self.config.resist_threshold,
+                                           tile_size_px=self.config.tile_size_px)
+        return self._engine
 
     # ------------------------------------------------------------------ #
     # imaging
@@ -136,6 +171,35 @@ class LithographySimulator:
             "aerial": aerial,
             "resist": self.resist_model.develop(aerial),
         }
+
+    def aerial_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Golden aerial images of a tile batch ``(B, H, W)`` in one vectorised pass."""
+        masks = np.asarray(masks, dtype=float)
+        if masks.ndim != 3:
+            raise ValueError("masks must have shape (B, H, W)")
+        expected = (self.config.tile_size_px, self.config.tile_size_px)
+        if masks.shape[-2:] != expected:
+            raise ValueError(f"mask shape {masks.shape[-2:]} does not match "
+                             f"configured tile {expected}")
+        return self.engine.aerial_batch(masks)
+
+    def resist_batch(self, masks: np.ndarray) -> np.ndarray:
+        """Golden binary resist images of a tile batch."""
+        return self.resist_model.develop(self.aerial_batch(masks))
+
+    def image_layout(self, layout: np.ndarray, guard_px: Optional[int] = None,
+                     tile_px: Optional[int] = None):
+        """Image an arbitrary ``(H, W)`` layout raster by guard-banded tiling.
+
+        Lifts the single-tile restriction of :meth:`aerial`: the layout is
+        split into overlapping ``tile_px`` tiles (default: the configured
+        tile size), imaged in vectorised batches, and stitched back with the
+        guard bands discarded.  Returns a
+        :class:`~repro.engine.execution.LayoutImage`.
+        """
+        return self.engine.image_layout(layout,
+                                        tile_px=tile_px or self.config.tile_size_px,
+                                        guard_px=guard_px)
 
     def _check_mask(self, mask: np.ndarray) -> None:
         mask = np.asarray(mask)

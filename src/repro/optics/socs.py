@@ -28,11 +28,16 @@ class SOCSKernels:
         ``sum_i |IFFT(kernels[i] * mask_spectrum)|^2``.
     eigenvalues:
         The ``r`` retained eigenvalues (descending, non-negative).
+    total_energy:
+        Trace of the source TCC (the sum of *all* eigenvalues, retained or
+        not); 0.0 when unknown, in which case :meth:`energy_captured`
+        reports full capture.
     """
 
     kernels: np.ndarray
     eigenvalues: np.ndarray
     kernel_shape: Tuple[int, int]
+    total_energy: float = 0.0
 
     @property
     def order(self) -> int:
@@ -41,12 +46,9 @@ class SOCSKernels:
     def energy_captured(self) -> float:
         """Fraction of total TCC energy captured by the retained kernels (0..1]."""
         total = float(self.eigenvalues.sum()) if self.eigenvalues.size else 0.0
-        if self._total_energy <= 0:
+        if self.total_energy <= 0:
             return 1.0
-        return total / self._total_energy
-
-    # populated by decompose_tcc via object.__setattr__ (frozen dataclass)
-    _total_energy: float = 0.0
+        return total / self.total_energy
 
 
 def decompose_tcc(tcc: TCCResult, max_order: Optional[int] = None,
@@ -85,9 +87,8 @@ def decompose_tcc(tcc: TCCResult, max_order: Optional[int] = None,
     kept_vectors = eigenvectors[:, :count]
     kernels = (np.sqrt(kept_values)[None, :] * kept_vectors).T.reshape(count, n, m)
 
-    result = SOCSKernels(kernels=kernels, eigenvalues=kept_values, kernel_shape=(n, m))
-    object.__setattr__(result, "_total_energy", total_energy)
-    return result
+    return SOCSKernels(kernels=kernels, eigenvalues=kept_values, kernel_shape=(n, m),
+                       total_energy=total_energy)
 
 
 def truncation_error_bound(tcc: TCCResult, order: int) -> float:

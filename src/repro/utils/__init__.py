@@ -1,5 +1,6 @@
 """Small shared utilities (band-limited resizing, batching, binarisation)."""
 
-from .imaging import area_downsample, binarize, fourier_resize, normalize01, to_batch
+from .imaging import (area_downsample, binarize, fourier_resize,
+                      fourier_resize_batch, normalize01, to_batch)
 
-__all__ = ["fourier_resize", "area_downsample", "binarize", "normalize01", "to_batch"]
+__all__ = ["fourier_resize", "fourier_resize_batch", "area_downsample", "binarize", "normalize01", "to_batch"]

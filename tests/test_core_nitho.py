@@ -179,6 +179,12 @@ class TestKernelBankEngine:
         with pytest.raises(ValueError):
             engine.truncate(0)
 
+    def test_truncate_rejects_order_beyond_bank(self, tiny_simulator):
+        """The seed silently returned the full bank for an over-long truncation."""
+        engine = KernelBankEngine(tiny_simulator.kernels.kernels)
+        with pytest.raises(ValueError, match="only holds"):
+            engine.truncate(engine.order + 1)
+
     def test_kernel_energy_sorted_descending_for_golden(self, tiny_simulator):
         engine = KernelBankEngine(tiny_simulator.kernels.kernels)
         energy = engine.kernel_energy()

@@ -21,6 +21,19 @@ from repro.experiments import get_context, preset_from_environment
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is `bench`: deselected from tier-1 by the
+    root addopts, selected in the bench job via `pytest benchmarks -m bench`.
+
+    collection_modifyitems hooks are global once this conftest loads, so the
+    marker is applied only to items that actually live in this directory.
+    """
+    bench_dir = os.path.dirname(os.path.abspath(__file__))
+    for item in items:
+        if str(item.path).startswith(bench_dir + os.sep):
+            item.add_marker(pytest.mark.bench)
+
+
 @pytest.fixture(scope="session")
 def preset() -> str:
     return preset_from_environment(default="tiny")

@@ -10,7 +10,7 @@ reproduction are small (a few hundred tiles), so the O(N^2) cost is fine.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 

@@ -7,7 +7,7 @@ be inspected in any environment.
 from __future__ import annotations
 
 import os
-from typing import Dict, Sequence
+from typing import Dict
 
 import numpy as np
 

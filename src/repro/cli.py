@@ -11,6 +11,9 @@ Subcommands cover the typical library workflow without writing any Python:
 * ``image-layout`` — image an arbitrarily sized layout raster (synthetic or
   loaded from ``.npy``/``.npz``) through the batched, guard-banded tiling
   engine and save the stitched aerial / resist images,
+* ``sweep-window`` — run a focus x dose process-window qualification campaign
+  over an arbitrary layout through the sweep layer, sharded across worker
+  processes, and print the focus-exposure matrix + window summary,
 * ``experiments``— run every table / figure driver (same as
   ``python -m repro.experiments.runner``).
 
@@ -21,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import List, Optional
 
@@ -181,6 +185,130 @@ def command_image_layout(arguments) -> int:
     return 0
 
 
+def _parse_float_list(text: str, option: str) -> List[float]:
+    try:
+        values = [float(token) for token in text.split(",") if token.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"{option} expects comma-separated numbers, got {text!r}") from exc
+    if not values:
+        raise SystemExit(f"{option} expects comma-separated numbers, got {text!r}")
+    return values
+
+
+def command_sweep_window(arguments) -> int:
+    import os
+    import shutil
+    import tempfile
+
+    from .engine import available_workers
+    from .sweep import FocusExposureGrid
+
+    grid = FocusExposureGrid.from_sequences(
+        _parse_float_list(arguments.focus, "--focus"),
+        _parse_float_list(arguments.dose, "--dose"))
+    num_workers = arguments.workers or available_workers()
+    cache_dir = (arguments.cache_dir or
+                 os.environ.get("REPRO_KERNEL_CACHE_DIR") or None)
+    temp_cache_dir = None
+    if cache_dir is None and num_workers > 1:
+        # Without a shared cache dir every worker would re-eigendecompose
+        # each focus bank inside the timed campaign (the parent's in-memory
+        # warm-up cannot reach spawned workers).  Minted per run, removed
+        # on the way out.
+        cache_dir = temp_cache_dir = tempfile.mkdtemp(prefix="repro-kernel-cache-")
+    try:
+        return _run_sweep_window(arguments, grid, num_workers, cache_dir)
+    finally:
+        if temp_cache_dir is not None:
+            shutil.rmtree(temp_cache_dir, ignore_errors=True)
+
+
+def _run_sweep_window(arguments, grid, num_workers: int,
+                      cache_dir: Optional[str]) -> int:
+    import time
+
+    from .engine import ShardedExecutor
+    from .optics.source import make_source
+    from .sweep import ProcessWindowSweep
+
+    if arguments.input:
+        mask = _load_layout_mask(arguments.input)
+    else:
+        mask = _synthesize_layout_mask(arguments.height, arguments.width,
+                                       arguments.tile_size, arguments.pixel_size_nm,
+                                       arguments.family, arguments.seed)
+    config = OpticsConfig(tile_size_px=arguments.tile_size,
+                          pixel_size_nm=arguments.pixel_size_nm)
+    source = make_source(arguments.source) if arguments.source else None
+    with ShardedExecutor(num_workers=num_workers, cache_dir=cache_dir) as executor:
+        sweep = ProcessWindowSweep(config, source=source, executor=executor)
+
+        # Build (or disk-load) the per-focus kernel banks and spin the worker
+        # pool up before the timed campaign so the reported time — and any
+        # --compare-serial speedup — measures imaging, not one-off bank
+        # decomposition, pool startup or per-worker warm-up.
+        for focus in grid.focus_values_nm:
+            sweep.engine_for_focus(focus)
+        if executor.num_workers > 1:
+            executor.aerial_batch(
+                sweep.spec_for_focus(grid.focus_values_nm[0]),
+                np.zeros((executor.num_workers, arguments.tile_size,
+                          arguments.tile_size)))
+
+        start = time.perf_counter()
+        outcome = sweep.run(mask, target_cd_nm=arguments.target_cd or None,
+                            grid=grid, tolerance=arguments.tolerance,
+                            guard_px=arguments.guard if arguments.guard >= 0
+                            else None)
+        elapsed = time.perf_counter() - start
+
+    height, width = mask.shape
+    print(f"process window of a {height}x{width} px layout: "
+          f"{len(grid.focus_values_nm)} focus x {len(grid.dose_values)} dose "
+          f"conditions, {outcome.num_tiles} tiles per focus, "
+          f"{executor.num_workers} worker(s) -> {elapsed:.2f} s")
+    print()
+    print(outcome.cd_table())
+    print()
+    print(outcome.summary())
+
+    if arguments.compare_serial and executor.num_workers > 1:
+        serial_sweep = ProcessWindowSweep(
+            config, source=source,
+            executor=ShardedExecutor(num_workers=1, cache_dir=cache_dir))
+        serial_start = time.perf_counter()
+        serial_outcome = serial_sweep.run(
+            mask, target_cd_nm=arguments.target_cd or None, grid=grid,
+            tolerance=arguments.tolerance,
+            guard_px=arguments.guard if arguments.guard >= 0 else None)
+        serial_elapsed = time.perf_counter() - serial_start
+        identical = serial_outcome.window == outcome.window
+        print()
+        print(f"serial re-run: {serial_elapsed:.2f} s "
+              f"(sharded speedup {serial_elapsed / max(elapsed, 1e-9):.2f}x, "
+              f"windows identical: {identical})")
+
+    if arguments.output:
+        matrix = outcome.window.cd_matrix()
+        cd_nm = np.array([[matrix[focus][dose] for dose in grid.dose_values]
+                          for focus in grid.focus_values_nm])
+        from .optics.process_window import FocusExposurePoint
+
+        in_spec = np.array(
+            [[outcome.window.in_spec(
+                FocusExposurePoint(focus, dose, matrix[focus][dose]))
+              for dose in grid.dose_values]
+             for focus in grid.focus_values_nm])
+        np.savez_compressed(arguments.output, mask=mask, cd_nm=cd_nm,
+                            in_spec=in_spec,
+                            focus_values_nm=np.asarray(grid.focus_values_nm),
+                            dose_values=np.asarray(grid.dose_values),
+                            target_cd_nm=np.asarray(outcome.window.target_cd_nm),
+                            tolerance=np.asarray(outcome.window.tolerance))
+        print(f"\nfocus-exposure matrix written to {arguments.output}")
+    return 0
+
+
 def command_experiments(arguments) -> int:
     run_all(preset=arguments.preset, seed=arguments.seed,
             include_ablations=not arguments.skip_ablations)
@@ -251,6 +379,53 @@ def build_parser() -> argparse.ArgumentParser:
                                    "default: the engine's annular source")
     image_layout.add_argument("--output", required=True, help="output .npz path")
     image_layout.set_defaults(handler=command_image_layout)
+
+    sweep = subparsers.add_parser(
+        "sweep-window",
+        help="focus x dose process-window sweep over a layout, sharded across workers")
+    _add_common(sweep)
+    sweep.add_argument("--input", help="load a 2-D layout mask from .npy/.npz "
+                                       "instead of synthesizing one")
+    sweep.add_argument("--width", type=int, default=512, help="layout width (px)")
+    sweep.add_argument("--height", type=int, default=384, help="layout height (px)")
+    sweep.add_argument("--tile-size", type=int, default=256, help="tile size (px)")
+    sweep.add_argument("--guard", type=int, default=-1,
+                       help="guard band per side (px); -1 sizes it from the "
+                            "optical kernel window")
+    sweep.add_argument("--pixel-size-nm", type=float, default=4.0)
+    sweep.add_argument("--family", default="B2m", choices=("B1", "B2m", "B2v"),
+                       help="synthetic layout family when no --input is given")
+    sweep.add_argument("--source", default="",
+                       help="illuminator (circular/annular/dipole/quadrupole); "
+                            "default: the engine's annular source")
+    # argparse treats a bare "-80,-40,0" as an option string; widening the
+    # (private, but stable across 3.10-3.13) negative-number matcher lets
+    # `--focus -80,-40,0` work as naturally as `--focus=-80,-40,0` — which
+    # stays the documented fallback should argparse internals ever change.
+    # The sweep subparser defines no numeric options, so nothing else can
+    # match.  The pattern also admits leading-dot floats like "-.5,0,.5".
+    sweep._negative_number_matcher = re.compile(r"^-(\d|\.\d)[\d.,eE+-]*$")
+    sweep.add_argument("--focus", default="-80,-40,0,40,80",
+                       help="comma-separated focus offsets (nm), "
+                            "e.g. --focus -80,-40,0,40,80")
+    sweep.add_argument("--dose", default="0.9,1.0,1.1",
+                       help="comma-separated relative doses")
+    sweep.add_argument("--target-cd", type=float, default=0.0,
+                       help="target CD (nm); 0 measures it at the nominal condition")
+    sweep.add_argument("--tolerance", type=float, default=0.1,
+                       help="relative CD tolerance defining the window")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="worker processes for tile sharding; 0 = all "
+                            "available CPUs, 1 = serial")
+    sweep.add_argument("--cache-dir", default="",
+                       help="kernel-bank cache directory shared with the workers "
+                            "(default: REPRO_KERNEL_CACHE_DIR)")
+    sweep.add_argument("--compare-serial", action="store_true",
+                       help="re-run serially and report the sharded speedup "
+                            "and output equality")
+    sweep.add_argument("--output", default="",
+                       help="optional output .npz for the focus-exposure matrix")
+    sweep.set_defaults(handler=command_sweep_window)
 
     experiments = subparsers.add_parser("experiments", help="run every table / figure driver")
     _add_common(experiments)

@@ -11,7 +11,7 @@ yields the predicted optical kernel stack ``K_hat  in C^{r x n x m}``.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 import numpy as np
 

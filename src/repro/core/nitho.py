@@ -18,19 +18,18 @@ lithography uses the kernel bank directly ("fast lithography", Section III-C1)
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from .. import nn
 from ..nn import functional as F
 from ..nn.tensor import Tensor
 from ..optics.aerial import aerial_from_kernels, mask_spectrum
 from ..optics.resist import ConstantThresholdResist
 from ..optics.simulator import OpticsConfig
 from .cmlp import CMLP, RealMLP
-from .encoding import PositionalEncoding, RandomFourierEncoding, kernel_coordinates, make_encoding
-from .kernel_dims import kernel_dimensions, suggest_kernel_order
+from .encoding import PositionalEncoding, kernel_coordinates, make_encoding
+from .kernel_dims import kernel_dimensions
 
 
 @dataclass

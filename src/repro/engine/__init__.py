@@ -11,9 +11,12 @@ throughput benchmarks — runs through this package:
   optics fingerprint (TCC + eigendecomposition computed at most once per
   process, optional on-disk persistence),
 * :mod:`repro.engine.tiling` — guard-banded splitting / stitching of
-  arbitrary ``(H, W)`` layouts, and
+  arbitrary ``(H, W)`` layouts,
 * :mod:`repro.engine.execution` — the :class:`ExecutionEngine` facade tying
-  the three together.
+  the three together, and
+* :mod:`repro.engine.sharded` — multiprocess sharding of tile batches
+  (:class:`ShardedExecutor`), with workers warmed from the disk-backed
+  kernel cache and a deterministic, bit-identical stitch order.
 """
 
 from .batched import (
@@ -30,6 +33,7 @@ from .cache import (
     optics_fingerprint,
 )
 from .execution import ExecutionEngine, LayoutImage
+from .sharded import EngineSpec, ShardedExecutor, available_workers
 from .tiling import (
     TilePlacement,
     TilingSpec,
@@ -45,6 +49,7 @@ __all__ = [
     "CacheStats", "KernelBankCache", "configure_default_cache",
     "default_kernel_cache", "optics_fingerprint",
     "ExecutionEngine", "LayoutImage",
+    "EngineSpec", "ShardedExecutor", "available_workers",
     "TilingSpec", "TilePlacement", "default_guard_px",
     "plan_tiles", "extract_tiles", "stitch_tiles",
 ]

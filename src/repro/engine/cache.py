@@ -30,7 +30,7 @@ import dataclasses
 import hashlib
 import os
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -187,6 +187,18 @@ class KernelBankCache:
             self._tccs.clear()
             self._banks.clear()
             self.stats = CacheStats()
+
+    def trim_memory(self) -> None:
+        """Drop the in-memory entries but keep the counters and the disk files.
+
+        Long sweeps touch one fingerprint per focus setting; with a disk
+        backing, re-loading a trimmed bank costs milliseconds while keeping
+        hundreds of decomposed banks resident costs GBs.  The sharded
+        executor trims after each engine build when a ``cache_dir`` is set.
+        """
+        with self._lock:
+            self._tccs.clear()
+            self._banks.clear()
 
     def __len__(self) -> int:
         with self._lock:

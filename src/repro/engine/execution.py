@@ -19,7 +19,7 @@ learned Nitho kernels, anything of shape ``(r, n, m)`` — and provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -83,7 +83,9 @@ class ExecutionEngine:
 
         source = source or AnnularSource(sigma_inner=0.5, sigma_outer=0.8)
         pupil = pupil or Pupil(defocus_nm=config.defocus_nm)
-        cache = cache or default_kernel_cache()
+        # "cache or default" would discard an *empty* injected cache, because
+        # KernelBankCache defines __len__ and a fresh cache is falsy.
+        cache = default_kernel_cache() if cache is None else cache
         bank = cache.get_kernels(config, source, pupil)
         kwargs.setdefault("resist_threshold", config.resist_threshold)
         kwargs.setdefault("tile_size_px", config.tile_size_px)

@@ -1,0 +1,341 @@
+"""Multiprocess sharding of tile batches across worker processes.
+
+The batched core (:mod:`repro.engine.batched`) saturates one interpreter; a
+qualification campaign (hundreds of (focus, dose) conditions over thousands of
+tiles) wants every core.  :class:`ShardedExecutor` splits a tile batch into
+contiguous shards, images each shard in a worker process and concatenates the
+results in submission order, so the sharded output is **bit-for-bit identical**
+to the serial output (per-tile FFT work is independent of how the batch is
+chunked — pinned by ``tests/test_engine.py::TestBatchedEquivalence``).
+
+Workers do not receive kernel banks over the wire.  They receive a small,
+picklable :class:`EngineSpec` (optics config + source + pupil + engine
+options) and rebuild their own :class:`~repro.engine.execution.ExecutionEngine`
+through a :class:`~repro.engine.cache.KernelBankCache`.  The cache-warm
+protocol keeps that cheap:
+
+1. the parent builds the engine once through a **disk-backed** cache
+   (``cache_dir``, defaulting to ``REPRO_KERNEL_CACHE_DIR``), writing the
+   decomposed bank as ``.npz``,
+2. every worker's first task for a fingerprint loads that ``.npz`` instead of
+   re-running the TCC accumulation + eigendecomposition,
+3. the worker memoises the engine in process-global state, so subsequent
+   shards for the same optics are pure imaging work.
+
+Everything degrades gracefully: ``num_workers <= 1``, single-shard batches or
+a broken/unavailable process pool all fall back to the serial in-process path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..optics.pupil import Pupil
+from ..optics.simulator import OpticsConfig
+from ..optics.source import AnnularSource, Source
+from .batched import DEFAULT_MAX_CHUNK_ELEMENTS
+from .cache import KernelBankCache, default_kernel_cache, optics_fingerprint
+from .execution import ExecutionEngine, LayoutImage
+from .tiling import TilingSpec, default_guard_px, extract_tiles, stitch_tiles
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Picklable recipe for rebuilding an :class:`ExecutionEngine` in a worker.
+
+    Holds the optics description rather than the kernel bank itself: the bank
+    can be megabytes, while the spec is a few hundred bytes and the workers
+    resolve it through the shared (disk-backed) kernel cache.
+    """
+
+    config: OpticsConfig
+    source: Optional[Source] = None
+    pupil: Optional[Pupil] = None
+    band_limited: bool = True
+    max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS
+    cache_dir: Optional[str] = None
+
+    def resolved_optics(self) -> Tuple[Source, Pupil]:
+        """Source / pupil with the same defaults as ``ExecutionEngine.for_optics``."""
+        source = self.source or AnnularSource(sigma_inner=0.5, sigma_outer=0.8)
+        pupil = self.pupil or Pupil(defocus_nm=self.config.defocus_nm)
+        return source, pupil
+
+    def fingerprint(self) -> str:
+        """Cache key: optics fingerprint + the engine options that change output."""
+        source, pupil = self.resolved_optics()
+        base = optics_fingerprint(self.config, source, pupil)
+        return (f"{base}|order={getattr(self.config, 'max_socs_order', None)}"
+                f"|band={self.band_limited}|chunk={self.max_chunk_elements}")
+
+    def with_focus(self, focus_nm: float) -> "EngineSpec":
+        """The same imaging system refocused: config + pupil defocus replaced."""
+        source, pupil = self.resolved_optics()
+        return dataclasses.replace(
+            self,
+            config=dataclasses.replace(self.config, defocus_nm=float(focus_nm)),
+            source=source,
+            pupil=dataclasses.replace(pupil, defocus_nm=float(focus_nm)))
+
+    def build(self, cache: Optional[KernelBankCache] = None) -> ExecutionEngine:
+        """Build the engine, serving kernels through ``cache`` (or the spec's dir)."""
+        source, pupil = self.resolved_optics()
+        if cache is None:
+            cache = (KernelBankCache(cache_dir=self.cache_dir) if self.cache_dir
+                     else default_kernel_cache())
+        return ExecutionEngine.for_optics(
+            self.config, source=source, pupil=pupil, cache=cache,
+            band_limited=self.band_limited,
+            max_chunk_elements=self.max_chunk_elements)
+
+
+# --------------------------------------------------------------------------- #
+# worker-process state
+# --------------------------------------------------------------------------- #
+#: Most engines an engine memo retains.  A campaign visits one fingerprint
+#: per focus setting; with a disk-backed cache an evicted engine rebuilds
+#: from ``.npz`` in milliseconds, whereas an unbounded memo would keep every
+#: decomposed bank of a hundreds-of-conditions sweep resident (GBs).
+ENGINE_MEMO_LIMIT = 8
+
+#: Per-worker-process engine memo (LRU): each worker pays the kernel-bank
+#: cost at most once per optics fingerprint per memo window (a disk load
+#: when the parent warmed the shared cache dir), then serves subsequent
+#: shards from memory.
+_WORKER_ENGINES: "OrderedDict[str, ExecutionEngine]" = OrderedDict()
+_WORKER_CACHES: Dict[str, KernelBankCache] = {}
+
+
+def _memoise_engine(memo: "OrderedDict[str, ExecutionEngine]", key: str,
+                    build) -> ExecutionEngine:
+    """LRU lookup/insert bounded by :data:`ENGINE_MEMO_LIMIT`."""
+    engine = memo.get(key)
+    if engine is None:
+        engine = build()
+        memo[key] = engine
+        while len(memo) > ENGINE_MEMO_LIMIT:
+            memo.popitem(last=False)
+    else:
+        memo.move_to_end(key)
+    return engine
+
+
+def _worker_engine(spec: EngineSpec) -> ExecutionEngine:
+    def build() -> ExecutionEngine:
+        cache_key = spec.cache_dir or ""
+        cache = _WORKER_CACHES.get(cache_key)
+        if cache is None:
+            cache = (KernelBankCache(cache_dir=spec.cache_dir) if spec.cache_dir
+                     else default_kernel_cache())
+            _WORKER_CACHES[cache_key] = cache
+        engine = spec.build(cache=cache)
+        if spec.cache_dir:
+            # The engine owns a copy of the kernels; the bank can drop out of
+            # memory (disk reloads are ~ms) so long campaigns stay bounded.
+            cache.trim_memory()
+        return engine
+
+    return _memoise_engine(_WORKER_ENGINES, spec.fingerprint(), build)
+
+
+def _shard_aerial(spec: EngineSpec, masks: np.ndarray,
+                  output_shape: Optional[Tuple[int, int]]) -> np.ndarray:
+    """Image one shard in a worker process (top-level so it pickles)."""
+    return _worker_engine(spec).aerial_batch(masks, output_shape=output_shape)
+
+
+def available_workers() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class ShardedExecutor:
+    """Execute tile batches across worker processes with a serial fallback.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker-process count; defaults to the available CPU count.  ``<= 1``
+        selects the serial in-process path (no pool is ever created).
+    cache_dir:
+        Disk directory for the kernel-bank warm protocol; defaults to
+        ``REPRO_KERNEL_CACHE_DIR``.  ``None`` still works — each worker then
+        recomputes the bank once per fingerprint.
+    mp_context:
+        Optional :mod:`multiprocessing` context (e.g. ``get_context("spawn")``)
+        for tests that must prove the disk protocol without fork inheritance.
+    min_shard_tiles:
+        Smallest shard worth shipping to a worker; batches below
+        ``2 * min_shard_tiles`` run serially.
+    """
+
+    def __init__(self, num_workers: Optional[int] = None,
+                 cache_dir: Optional[str] = None,
+                 mp_context=None, min_shard_tiles: int = 1):
+        if num_workers is not None and num_workers < 0:
+            raise ValueError("num_workers must be non-negative")
+        if min_shard_tiles < 1:
+            raise ValueError("min_shard_tiles must be at least 1")
+        self.num_workers = available_workers() if num_workers is None else int(num_workers)
+        self.cache_dir = cache_dir if cache_dir is not None else \
+            os.environ.get("REPRO_KERNEL_CACHE_DIR")
+        self.min_shard_tiles = int(min_shard_tiles)
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._local_engines: "OrderedDict[str, ExecutionEngine]" = OrderedDict()
+        self._local_cache = (KernelBankCache(cache_dir=self.cache_dir)
+                             if self.cache_dir else None)
+        #: Diagnostics of the most recent ``aerial_batch`` call: how many
+        #: shards ran and whether the pool path was actually used.
+        self.last_num_shards = 0
+        self.last_used_pool = False
+
+    # ------------------------------------------------------------------ #
+    # pool lifecycle
+    # ------------------------------------------------------------------ #
+    def _pool_handle(self) -> ProcessPoolExecutor:
+        """The worker pool, created lazily and reused across batches."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.num_workers,
+                                             mp_context=self._mp_context)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; a new one spawns on demand)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # best-effort: don't leak worker processes
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter-shutdown races
+            pass
+
+    # ------------------------------------------------------------------ #
+    # cache warm protocol
+    # ------------------------------------------------------------------ #
+    def _resolve_spec(self, spec: EngineSpec) -> EngineSpec:
+        if spec.cache_dir is None and self.cache_dir:
+            return dataclasses.replace(spec, cache_dir=self.cache_dir)
+        return spec
+
+    def warm(self, spec: EngineSpec) -> ExecutionEngine:
+        """Build the engine in-process, persisting the bank for the workers.
+
+        With a ``cache_dir`` this writes the decomposed kernel bank as
+        ``.npz`` so every worker's first lookup is a disk load rather than a
+        fresh TCC accumulation + eigendecomposition.
+        """
+        spec = self._resolve_spec(spec)
+
+        def build() -> ExecutionEngine:
+            engine = spec.build(cache=self._local_cache)
+            if self._local_cache is not None:
+                self._local_cache.trim_memory()  # bank persisted; engine owns a copy
+            return engine
+
+        return _memoise_engine(self._local_engines, spec.fingerprint(), build)
+
+    # ------------------------------------------------------------------ #
+    # sharded imaging
+    # ------------------------------------------------------------------ #
+    def _shard_slices(self, batch: int) -> List[slice]:
+        """Contiguous, deterministic shard slices (at most one per worker)."""
+        per_worker = -(-batch // self.num_workers)  # ceil
+        size = max(per_worker, self.min_shard_tiles)
+        return [slice(start, min(start + size, batch))
+                for start in range(0, batch, size)]
+
+    def aerial_batch(self, spec: EngineSpec, masks: np.ndarray,
+                     output_shape: Optional[Tuple[int, int]] = None) -> np.ndarray:
+        """Aerial images of ``(B, H, W)`` masks, sharded across the workers.
+
+        Results are concatenated in shard-submission order, so the output is
+        bit-for-bit the serial output regardless of worker scheduling.
+        """
+        masks = np.asarray(masks, dtype=float)
+        if masks.ndim != 3:
+            raise ValueError("masks must have shape (B, H, W)")
+        spec = self._resolve_spec(spec)
+        batch = masks.shape[0]
+        self.last_used_pool = False
+
+        if self.num_workers <= 1 or batch < 2 * self.min_shard_tiles:
+            self.last_num_shards = 1 if batch else 0
+            return self.warm(spec).aerial_batch(masks, output_shape=output_shape)
+
+        shards = self._shard_slices(batch)
+        self.last_num_shards = len(shards)
+        if len(shards) <= 1:
+            return self.warm(spec).aerial_batch(masks, output_shape=output_shape)
+
+        self.warm(spec)  # persist the bank before any worker asks for it
+        try:
+            pool = self._pool_handle()
+            futures = [pool.submit(_shard_aerial, spec, masks[piece], output_shape)
+                       for piece in shards]
+            results = [future.result() for future in futures]
+            self.last_used_pool = True
+        except (BrokenProcessPool, OSError, PermissionError):
+            # Sandboxes and exotic platforms may forbid subprocesses; the
+            # sharded path is an optimisation, never a correctness dependency.
+            self.close()
+            return self.warm(spec).aerial_batch(masks, output_shape=output_shape)
+        return np.concatenate(results, axis=0)
+
+    def resist_batch(self, spec: EngineSpec, masks: np.ndarray) -> np.ndarray:
+        """Binary resist images of a sharded mask batch."""
+        aerial = self.aerial_batch(spec, masks)
+        return self.warm(spec).resist_model.develop(aerial)
+
+    # ------------------------------------------------------------------ #
+    # sharded layouts
+    # ------------------------------------------------------------------ #
+    def image_layout(self, spec: EngineSpec, layout: np.ndarray,
+                     tiling: Optional[TilingSpec] = None,
+                     tile_px: Optional[int] = None,
+                     guard_px: Optional[int] = None) -> LayoutImage:
+        """Guard-banded tiling of an ``(H, W)`` layout with sharded tile imaging.
+
+        Split and stitch happen in the parent (they are cheap memory moves);
+        only the per-tile FFT work is distributed.  Geometry semantics match
+        :meth:`ExecutionEngine.image_layout` exactly.
+        """
+        layout = np.asarray(layout, dtype=float)
+        if layout.ndim != 2:
+            raise ValueError("layout must be a 2-D image")
+        spec = self._resolve_spec(spec)
+        engine = self.warm(spec)
+        if tiling is None:
+            tile_px = tile_px if tile_px is not None else engine.tile_size_px
+            if tile_px is None:
+                raise ValueError("engine has no calibrated tile size; pass tile_px")
+            if guard_px is None:
+                guard_px = default_guard_px(engine.kernel_shape, tile_px)
+            tiling = TilingSpec(tile_px=int(tile_px), guard_px=int(guard_px))
+
+        height, width = layout.shape
+        tiles, placements = extract_tiles(layout, tiling)
+        aerial_tiles = self.aerial_batch(spec, tiles)
+        aerial = stitch_tiles(aerial_tiles, placements, height, width, tiling)
+        resist = engine.resist_model.develop(aerial)
+        return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,
+                           num_tiles=len(placements))

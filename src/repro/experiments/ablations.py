@@ -10,7 +10,7 @@ These go beyond the paper's own ablation section:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

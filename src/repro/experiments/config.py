@@ -11,8 +11,8 @@ EXPERIMENTS.md.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict
 
 from ..core.nitho import NithoConfig
 from ..masks.datasets import PRESETS, DatasetSpec

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-import numpy as np
 
 from ..baselines import DoinnModel, TempoModel
 from ..core import NithoModel

@@ -6,11 +6,18 @@ Here the golden data comes from a simulator with a defocused pupil (and
 optionally Zernike aberrations); Nitho is trained only on mask/aerial pairs
 and must reconstruct kernels that reproduce the aberrated behaviour — which an
 ideal-system assumption could not.
+
+The golden engines run through the sweep layer: one
+:class:`~repro.sweep.ProcessWindowSweep` describes the aberrated scanner, its
+per-focus engines (served by the shared kernel-bank cache, batched imaging)
+generate the training / test data, and the same sweep also reports the
+scanner's focus window around the operating point — the qualification view of
+the system Nitho is being asked to learn.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -18,8 +25,9 @@ from ..core import NithoModel
 from ..masks.generators import ICCAD2013Generator
 from ..metrics import aerial_metrics
 from ..optics.pupil import Pupil
-from ..optics.simulator import LithographySimulator, OpticsConfig
+from ..optics.simulator import OpticsConfig
 from ..optics.source import CircularSource
+from ..sweep import FocusExposureGrid, ProcessWindowSweep
 from .config import ExperimentConfig
 
 
@@ -32,36 +40,55 @@ def run_defocus_extension(preset: str = "tiny", seed: int = 0, defocus_nm: float
     and, as a control, the PSNR obtained by imaging the same masks with the
     *ideal* (in-focus) kernel bank — the learned model must beat the control,
     proving it absorbed the aberration rather than memorising an ideal system.
+    The returned ``focus_window`` summarises the aberrated scanner's CD
+    stability through focus (via the sweep layer).
     """
     config = ExperimentConfig(preset=preset, seed=seed)
     optics = OpticsConfig(tile_size_px=config.tile_size_px,
                           pixel_size_nm=config.pixel_size_nm,
                           defocus_nm=defocus_nm)
-    aberrated_pupil = Pupil(defocus_nm=defocus_nm, zernike_coefficients={8: coma_waves})
-    aberrated = LithographySimulator(optics, source=CircularSource(sigma=0.6),
-                                     pupil=aberrated_pupil)
-    ideal = LithographySimulator(OpticsConfig(tile_size_px=config.tile_size_px,
-                                              pixel_size_nm=config.pixel_size_nm),
-                                 source=CircularSource(sigma=0.6))
+    source = CircularSource(sigma=0.6)
+    # The aberrated scanner as a sweep: defocus is the swept axis, the coma
+    # term rides along in the base pupil.  engine_for_focus() serves batched
+    # engines out of the shared kernel-bank cache per focus setting.
+    sweep = ProcessWindowSweep(optics, source=source,
+                               pupil=Pupil(defocus_nm=defocus_nm,
+                                           zernike_coefficients={8: coma_waves}))
+    aberrated = sweep.engine_for_focus(defocus_nm)
+    ideal = ProcessWindowSweep(optics, source=source).engine_for_focus(0.0)
 
     generator = ICCAD2013Generator(config.tile_size_px, config.pixel_size_nm, seed=seed)
-    train_masks = generator.generate(train_tiles)
-    test_masks = generator.generate(test_tiles)
-    train_aerials = np.stack([aberrated.aerial(m) for m in train_masks])
-    test_aerials = np.stack([aberrated.aerial(m) for m in test_masks])
+    train_masks = np.asarray(generator.generate(train_tiles), dtype=float)
+    test_masks = np.asarray(generator.generate(test_tiles), dtype=float)
+    train_aerials = aberrated.aerial_batch(train_masks)
+    test_aerials = aberrated.aerial_batch(test_masks)
 
     model = NithoModel(optics, config.nitho_config())
     model.fit(train_masks, train_aerials)
 
     learned_prediction = model.predict_batch(test_masks)
-    ideal_prediction = np.stack([ideal.aerial(m) for m in test_masks])
+    ideal_prediction = ideal.aerial_batch(test_masks)
 
     learned_metrics = aerial_metrics(test_aerials, learned_prediction)
     ideal_metrics = aerial_metrics(test_aerials, ideal_prediction)
+
+    # Qualification view of the learned-against scanner: CD through focus
+    # around the operating point, at the nominal dose.
+    try:
+        window = sweep.run(
+            test_masks[0],
+            grid=FocusExposureGrid(
+                focus_values_nm=(0.0, 0.5 * defocus_nm, defocus_nm, 1.5 * defocus_nm),
+                dose_values=(1.0,)),
+            tolerance=0.2)
+    except ValueError:  # nothing printable on this tile at the nominal condition
+        window = None
+
     return {
         "defocus_nm": defocus_nm,
         "coma_waves": coma_waves,
         "learned": learned_metrics,
         "ideal_system_control": ideal_metrics,
         "psnr_gain_db": learned_metrics["psnr"] - ideal_metrics["psnr"],
+        "focus_window": window,
     }

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
-from ..analysis.tsne import TSNEResult, cluster_separation, embed_datasets
+from ..analysis.tsne import cluster_separation, embed_datasets
 from ..analysis.visualize import comparison_panel
 from ..metrics import resist_metrics
 from .context import MODEL_NAMES, get_context

@@ -11,9 +11,8 @@ because no network inference is needed after kernel export.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
-import numpy as np
 
 from ..analysis.reporting import render_bar_chart
 from ..analysis.throughput import compare_throughput, speedup

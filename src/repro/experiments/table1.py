@@ -18,7 +18,6 @@ from ..baselines import DoinnModel, TempoModel
 from ..core import NithoConfig, NithoModel
 from ..metrics import model_size_mb, parameter_count
 from ..optics.simulator import OpticsConfig
-from .config import ExperimentConfig
 from .context import get_context
 
 #: What each network learns, straight from the paper's Table I.

@@ -8,7 +8,7 @@ baselines, its PSNR is the highest and its resist mPA / mIOU are the best.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Sequence
 
 import numpy as np
 

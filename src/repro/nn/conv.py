@@ -10,7 +10,6 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from . import functional as F
 from . import init
 from .layers import Module
 from .tensor import Tensor, as_tensor

@@ -12,7 +12,7 @@ from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .tensor import Tensor, as_tensor, unbroadcast
+from .tensor import Tensor, as_tensor
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "matmul", "power", "exp", "log",

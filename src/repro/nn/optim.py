@@ -9,7 +9,7 @@ invariant (this matches PyTorch's complex Adam behaviour).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

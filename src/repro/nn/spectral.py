@@ -13,7 +13,6 @@ from typing import Optional
 import numpy as np
 
 from . import functional as F
-from . import init
 from .layers import Module
 from .tensor import Tensor, as_tensor
 

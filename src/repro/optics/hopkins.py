@@ -13,7 +13,7 @@ Fig. 5 throughput comparison.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -11,14 +11,60 @@ only needs a kernel bank, it works just as well with kernels learned by Nitho
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .pupil import Pupil
-from .simulator import LithographySimulator, OpticsConfig
+from .simulator import OpticsConfig
 from .source import Source
+
+
+def longest_printed_run(line: np.ndarray) -> int:
+    """Length of the longest contiguous ``True`` run in a boolean line.
+
+    Vectorised run-length scan: pad the indicator with zeros, then the
+    ``np.diff`` of the padding is ``+1`` exactly at run starts and ``-1``
+    exactly at run ends, so run lengths are the element-wise difference of
+    the two edge-position arrays.  This sits inside every point of a
+    process-window sweep, where the Python-loop scan it replaces dominated
+    the per-condition cost for wide layouts.
+    """
+    line = np.asarray(line, dtype=bool)
+    if line.ndim != 1:
+        raise ValueError("line must be 1-D")
+    edges = np.diff(np.concatenate(([0], line.astype(np.int8), [0])))
+    starts = np.flatnonzero(edges == 1)
+    if starts.size == 0:
+        return 0
+    ends = np.flatnonzero(edges == -1)
+    return int((ends - starts).max())
+
+
+def _longest_printed_run_loop(line: np.ndarray) -> int:
+    """Pre-vectorisation reference scan, kept as the property-test oracle."""
+    best = current = 0
+    for printed in np.asarray(line, dtype=bool):
+        current = current + 1 if printed else 0
+        best = max(best, current)
+    return best
+
+
+def widest_feature_row(resist: np.ndarray) -> int:
+    """Row holding the widest printed feature (centre row if nothing prints).
+
+    Process-window sweeps over whole layouts need a deterministic row to
+    track one feature through every (focus, dose) condition; the widest
+    printed run at the nominal condition is a robust, orientation-free pick.
+    """
+    resist = np.asarray(resist)
+    if resist.ndim != 2:
+        raise ValueError("resist must be a 2-D image")
+    binary = resist > 0.5
+    runs = [longest_printed_run(line) for line in binary]
+    if max(runs) == 0:
+        return resist.shape[0] // 2
+    return int(np.argmax(runs))
 
 
 def measure_cd(resist: np.ndarray, row: Optional[int] = None,
@@ -36,12 +82,7 @@ def measure_cd(resist: np.ndarray, row: Optional[int] = None,
         row = resist.shape[0] // 2
     if not 0 <= row < resist.shape[0]:
         raise ValueError(f"row {row} outside image of height {resist.shape[0]}")
-    line = resist[row] > 0.5
-    best = current = 0
-    for printed in line:
-        current = current + 1 if printed else 0
-        best = max(best, current)
-    return best * pixel_size_nm
+    return longest_printed_run(resist[row] > 0.5) * pixel_size_nm
 
 
 @dataclass(frozen=True)
@@ -102,6 +143,15 @@ class ProcessWindowAnalyzer:
     Dose is modelled (as in the paper's constant-threshold resist) as a scale
     on the resist threshold: a higher dose prints at a lower effective
     threshold.
+
+    This is a thin facade over the sweep orchestration layer
+    (:class:`repro.sweep.ProcessWindowSweep`), which adds per-focus kernel
+    caching, batched imaging, arbitrary-layout tiling and multiprocess
+    sharding on top of the same focus-exposure semantics.  One behavioural
+    upgrade over the pre-sweep analyzer: when ``cd_row`` is ``None`` the
+    measured row now tracks the widest feature printed at the nominal
+    condition instead of blindly using the centre row, so off-centre
+    features are qualified rather than reported as CD 0.
     """
 
     def __init__(self, config: OpticsConfig, source: Optional[Source] = None,
@@ -109,11 +159,6 @@ class ProcessWindowAnalyzer:
         self.config = config
         self.source = source
         self.cd_row = cd_row
-
-    def _simulator(self, focus_nm: float) -> LithographySimulator:
-        config = replace(self.config, defocus_nm=focus_nm)
-        return LithographySimulator(config=config, source=self.source,
-                                    pupil=Pupil(defocus_nm=focus_nm))
 
     def run(self, mask: np.ndarray, target_cd_nm: float,
             focus_values_nm: Sequence[float] = (-80.0, -40.0, 0.0, 40.0, 80.0),
@@ -130,31 +175,16 @@ class ProcessWindowAnalyzer:
             Relative doses; the effective resist threshold is
             ``nominal_threshold / dose``.
         """
-        mask = np.asarray(mask, dtype=float)
-        if mask.ndim != 2:
-            raise ValueError("mask must be a 2-D image")
+        # Imported here: repro.sweep is built on repro.optics, not vice versa.
+        from ..sweep import FocusExposureGrid, ProcessWindowSweep
+
         if target_cd_nm <= 0:
             raise ValueError("target_cd_nm must be positive")
-        if not 0.0 < tolerance < 1.0:
-            raise ValueError("tolerance must be in (0, 1)")
-        if not focus_values_nm or not dose_values:
-            raise ValueError("focus and dose lists must be non-empty")
-        if any(dose <= 0 for dose in dose_values):
-            raise ValueError("doses must be positive")
-
-        points: List[FocusExposurePoint] = []
-        for focus in focus_values_nm:
-            simulator = self._simulator(float(focus))
-            aerial = simulator.aerial(mask)
-            for dose in dose_values:
-                threshold = self.config.resist_threshold / float(dose)
-                resist = (aerial > threshold).astype(np.uint8)
-                cd = measure_cd(resist, row=self.cd_row,
-                                pixel_size_nm=self.config.pixel_size_nm)
-                points.append(FocusExposurePoint(focus_nm=float(focus), dose=float(dose),
-                                                 cd_nm=cd))
-        return ProcessWindowResult(points=tuple(points), target_cd_nm=target_cd_nm,
-                                   tolerance=tolerance)
+        grid = FocusExposureGrid.from_sequences(focus_values_nm, dose_values)
+        sweep = ProcessWindowSweep(self.config, source=self.source,
+                                   cd_row=self.cd_row)
+        return sweep.run(mask, target_cd_nm=float(target_cd_nm), grid=grid,
+                         tolerance=tolerance).window
 
 
 def bossung_curves(result: ProcessWindowResult) -> Dict[float, List[Tuple[float, float]]]:

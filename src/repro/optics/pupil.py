@@ -8,7 +8,7 @@ a small Zernike expansion so the simulator can generate through-focus data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 

@@ -15,7 +15,7 @@ vectorised :class:`~repro.engine.execution.ExecutionEngine`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
 import numpy as np

@@ -1,0 +1,22 @@
+"""Sweep orchestration: process-window qualification campaigns over the engine.
+
+The engine layer (:mod:`repro.engine`) makes one imaging condition fast; this
+package makes *campaigns* fast.  A process-window qualification images the
+same layout under a focus x dose grid — the canonical heavy workload of a
+production lithography service — and this layer:
+
+* enumerates the grid (:class:`FocusExposureGrid`),
+* derives one kernel bank per focus setting through the shared
+  :class:`~repro.engine.cache.KernelBankCache` (dose never touches the
+  kernels, so an ``F x D`` campaign costs ``F`` banks, all persisted to the
+  shared cache dir for the worker processes),
+* batch-images every condition through the vectorised batched core, sharded
+  across worker processes by :class:`~repro.engine.sharded.ShardedExecutor`,
+* extracts CDs via :func:`repro.optics.process_window.measure_cd` and returns
+  the standard :class:`~repro.optics.process_window.ProcessWindowResult`.
+"""
+
+from .grid import FocusExposureGrid
+from .process_window import ProcessWindowSweep, SweepOutcome
+
+__all__ = ["FocusExposureGrid", "ProcessWindowSweep", "SweepOutcome"]

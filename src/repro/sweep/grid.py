@@ -1,0 +1,54 @@
+"""The focus x exposure-dose grid a process-window sweep enumerates."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass(frozen=True)
+class FocusExposureGrid:
+    """Focus (nm) and relative-dose axes of a focus-exposure matrix.
+
+    Dose is modelled, as in the paper's constant-threshold resist, as a scale
+    on the resist threshold (``threshold / dose``): it changes which aerial
+    intensities print but never the optics, so the kernel bank is shared by
+    every dose at a given focus.
+    """
+
+    focus_values_nm: Tuple[float, ...] = (-80.0, -40.0, 0.0, 40.0, 80.0)
+    dose_values: Tuple[float, ...] = (0.9, 1.0, 1.1)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "focus_values_nm",
+                           tuple(float(f) for f in self.focus_values_nm))
+        object.__setattr__(self, "dose_values",
+                           tuple(float(d) for d in self.dose_values))
+        if not self.focus_values_nm or not self.dose_values:
+            raise ValueError("focus and dose lists must be non-empty")
+        if any(dose <= 0 for dose in self.dose_values):
+            raise ValueError("doses must be positive")
+
+    def __len__(self) -> int:
+        return len(self.focus_values_nm) * len(self.dose_values)
+
+    def conditions(self) -> List[Tuple[float, float]]:
+        """Every (focus, dose) condition, focus-major (the imaging order)."""
+        return [(focus, dose) for focus in self.focus_values_nm
+                for dose in self.dose_values]
+
+    @property
+    def nominal_focus_nm(self) -> float:
+        """The focus setting closest to best focus (0 nm)."""
+        return min(self.focus_values_nm, key=lambda f: (abs(f), f))
+
+    @property
+    def nominal_dose(self) -> float:
+        """The dose closest to the nominal exposure (1.0)."""
+        return min(self.dose_values, key=lambda d: (abs(d - 1.0), d))
+
+    @classmethod
+    def from_sequences(cls, focus_values_nm: Iterable[float],
+                       dose_values: Iterable[float]) -> "FocusExposureGrid":
+        return cls(focus_values_nm=tuple(focus_values_nm),
+                   dose_values=tuple(dose_values))

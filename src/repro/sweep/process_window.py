@@ -1,0 +1,206 @@
+"""Process-window sweeps: focus x dose campaigns over the sharded engine layer.
+
+``ProcessWindowSweep`` turns "fast single image" into "fast qualification
+campaign".  For each focus setting it derives the refocused optics (a new
+fingerprint into the shared kernel-bank cache — the TCC and SOCS bank for a
+focus are computed at most once and persist in the cache dir for every worker
+process), images the layout once through the batched/sharded engine, then
+develops every dose from that single aerial (dose only scales the resist
+threshold).  An ``F x D`` campaign therefore costs ``F`` kernel banks and
+``F`` imaging passes, not ``F x D`` of each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..engine.sharded import EngineSpec, ShardedExecutor
+from ..optics.process_window import (
+    FocusExposurePoint,
+    ProcessWindowResult,
+    measure_cd,
+    widest_feature_row,
+)
+from ..optics.pupil import Pupil
+from ..optics.simulator import OpticsConfig
+from ..optics.source import Source
+from .grid import FocusExposureGrid
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """A completed sweep: the process window plus campaign provenance."""
+
+    window: ProcessWindowResult
+    grid: FocusExposureGrid
+    num_tiles: int
+    num_workers: int
+    elapsed_s: float
+    aerials: Optional[Dict[float, np.ndarray]] = None
+
+    def cd_table(self) -> str:
+        """The focus-exposure matrix as a fixed-width text table (CDs in nm)."""
+        matrix = self.window.cd_matrix()
+        doses = self.grid.dose_values
+        header = "focus_nm \\ dose" + "".join(f"{dose:>10.3f}" for dose in doses)
+        lines = [header]
+        for focus in self.grid.focus_values_nm:
+            row = f"{focus:>15.1f}"
+            for dose in doses:
+                cd = matrix[focus][dose]
+                marker = " " if self.window.in_spec(
+                    FocusExposurePoint(focus, dose, cd)) else "*"
+                row += f"{cd:>9.1f}{marker}"
+            lines.append(row)
+        lines.append("(* = outside the CD tolerance band)")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Window metrics at the grid's nominal condition, one per line."""
+        window = self.window
+        focus = self.grid.nominal_focus_nm
+        dose = self.grid.nominal_dose
+        return "\n".join([
+            f"target CD       : {window.target_cd_nm:.1f} nm "
+            f"(tolerance +/- {window.tolerance * 100:.0f}%)",
+            f"window fraction : {window.window_fraction() * 100:.1f}% "
+            f"of {len(window.points)} conditions in spec",
+            f"depth of focus  : {window.depth_of_focus_nm(dose):.1f} nm "
+            f"at dose {dose:g}",
+            f"exposure latitude: {window.exposure_latitude(focus) * 100:.1f}% "
+            f"at focus {focus:g} nm",
+        ])
+
+
+class ProcessWindowSweep:
+    """Run focus-exposure campaigns for one optics description.
+
+    Parameters
+    ----------
+    config:
+        Base optics; its ``defocus_nm`` is replaced per focus setting.
+    source / pupil:
+        Illuminator and base pupil (aberrations are kept, the pupil's defocus
+        term is swept).  Defaults match the golden simulator.
+    executor:
+        The sharded executor to image through; defaults to a serial one.
+        Pass ``ShardedExecutor(num_workers=N, cache_dir=...)`` to distribute
+        tile batches over ``N`` worker processes warmed from the cache dir.
+    cd_row:
+        Row for CD extraction.  ``None`` (the default) tracks the widest
+        feature printed at the grid's nominal condition: the row is chosen
+        from the nominal-focus, nominal-dose resist and then held fixed for
+        every other condition, so one feature is followed through the whole
+        matrix.
+    """
+
+    def __init__(self, config: OpticsConfig, source: Optional[Source] = None,
+                 pupil: Optional[Pupil] = None,
+                 executor: Optional[ShardedExecutor] = None,
+                 cache_dir: Optional[str] = None,
+                 cd_row: Optional[int] = None):
+        self.config = config
+        self.executor = executor if executor is not None else \
+            ShardedExecutor(num_workers=1, cache_dir=cache_dir)
+        self.base_spec = EngineSpec(config=config, source=source, pupil=pupil,
+                                    cache_dir=cache_dir)
+        self.cd_row = cd_row
+
+    # ------------------------------------------------------------------ #
+    # per-focus engines
+    # ------------------------------------------------------------------ #
+    def spec_for_focus(self, focus_nm: float) -> EngineSpec:
+        """The picklable engine recipe for one focus setting of this system."""
+        return self.base_spec.with_focus(focus_nm)
+
+    def engine_for_focus(self, focus_nm: float):
+        """A warmed in-process engine for one focus (bank persisted for workers)."""
+        return self.executor.warm(self.spec_for_focus(focus_nm))
+
+    # ------------------------------------------------------------------ #
+    # the campaign
+    # ------------------------------------------------------------------ #
+    def run(self, layout: np.ndarray, target_cd_nm: Optional[float] = None,
+            grid: Optional[FocusExposureGrid] = None, tolerance: float = 0.1,
+            tile_px: Optional[int] = None, guard_px: Optional[int] = None,
+            keep_aerials: bool = False) -> SweepOutcome:
+        """Image the layout through the whole focus-exposure matrix.
+
+        Parameters
+        ----------
+        layout:
+            Any 2-D mask raster.  A layout of exactly the configured tile
+            size goes straight through the batched core; anything else runs
+            through guard-banded tiling (``tile_px`` / ``guard_px`` as in
+            :meth:`ExecutionEngine.image_layout`).
+        target_cd_nm:
+            Nominal CD the window is judged against.  ``None`` measures it
+            from the grid's nominal (focus closest to 0, dose closest to 1)
+            condition.
+        """
+        layout = np.asarray(layout, dtype=float)
+        if layout.ndim != 2:
+            raise ValueError("layout must be a 2-D image")
+        if target_cd_nm is not None and target_cd_nm <= 0:
+            raise ValueError("target_cd_nm must be positive")
+        if not 0.0 < tolerance < 1.0:
+            raise ValueError("tolerance must be in (0, 1)")
+        grid = grid if grid is not None else FocusExposureGrid()
+
+        tile = self.config.tile_size_px
+        single_tile = layout.shape == (tile, tile)
+
+        start = time.perf_counter()
+        num_tiles = 1
+        cds: Dict[Tuple[float, float], float] = {}
+        aerials: Dict[float, np.ndarray] = {}
+        # The nominal focus is imaged first: when no cd_row was pinned, the
+        # widest feature printed at the nominal condition fixes the row every
+        # other condition is measured on (tracking one feature through focus).
+        cd_row = self.cd_row
+        nominal = grid.nominal_focus_nm
+        focus_order = [nominal] + [f for f in grid.focus_values_nm if f != nominal]
+        for focus in focus_order:
+            spec = self.spec_for_focus(focus)
+            if single_tile:
+                aerial = self.executor.aerial_batch(spec, layout[None])[0]
+            else:
+                imaged = self.executor.image_layout(spec, layout,
+                                                    tile_px=tile_px,
+                                                    guard_px=guard_px)
+                aerial = imaged.aerial
+                num_tiles = imaged.num_tiles
+            if keep_aerials:
+                aerials[focus] = aerial
+            if cd_row is None:
+                nominal_threshold = self.config.resist_threshold / grid.nominal_dose
+                cd_row = widest_feature_row(aerial > nominal_threshold)
+            for dose in grid.dose_values:
+                threshold = self.config.resist_threshold / dose
+                resist = (aerial > threshold).astype(np.uint8)
+                cds[(focus, dose)] = measure_cd(
+                    resist, row=cd_row,
+                    pixel_size_nm=self.config.pixel_size_nm)
+        elapsed = time.perf_counter() - start
+
+        if target_cd_nm is None:
+            target_cd_nm = cds[(grid.nominal_focus_nm, grid.nominal_dose)]
+            if target_cd_nm <= 0:
+                raise ValueError(
+                    "nothing prints at the nominal condition; pass an "
+                    "explicit target_cd_nm")
+
+        points: List[FocusExposurePoint] = [
+            FocusExposurePoint(focus_nm=focus, dose=dose, cd_nm=cds[(focus, dose)])
+            for focus, dose in grid.conditions()]
+        window = ProcessWindowResult(points=tuple(points),
+                                     target_cd_nm=float(target_cd_nm),
+                                     tolerance=float(tolerance))
+        return SweepOutcome(window=window, grid=grid, num_tiles=num_tiles,
+                            num_workers=self.executor.num_workers,
+                            elapsed_s=elapsed,
+                            aerials=aerials if keep_aerials else None)

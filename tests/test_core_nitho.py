@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import KernelBankEngine, NithoConfig, NithoModel, NithoTrainer
 from repro.metrics import aerial_metrics
-from repro.optics.simulator import OpticsConfig
 
 
 class TestNithoConfig:

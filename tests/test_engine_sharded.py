@@ -1,0 +1,203 @@
+"""Tests for multiprocess sharding (repro.engine.sharded) and its cache-warm protocol.
+
+Pinned guarantees:
+
+* sharded output is bit-for-bit the serial output (deterministic stitch
+  order), with fork and spawn worker processes alike,
+* the serial fallback engages for one worker, tiny batches and broken pools,
+* ``EngineSpec`` round-trips focus changes and keys the kernel cache
+  correctly, and
+* the disk-backed kernel cache hands a pre-computed bank to a *fresh
+  process* with zero TCC computations and zero eigendecompositions — the
+  mechanism every sharded worker relies on.
+"""
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    EngineSpec,
+    KernelBankCache,
+    ShardedExecutor,
+    available_workers,
+)
+from repro.optics import OpticsConfig
+from repro.optics.pupil import Pupil
+from repro.optics.source import AnnularSource, CircularSource
+
+CONFIG = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0, max_socs_order=8)
+SOURCE = CircularSource(sigma=0.6)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return EngineSpec(config=CONFIG, source=SOURCE)
+
+
+@pytest.fixture(scope="module")
+def masks():
+    return (np.random.default_rng(21).random((6, 32, 32)) > 0.7).astype(float)
+
+
+class TestEngineSpec:
+    def test_resolved_defaults_match_for_optics(self):
+        bare = EngineSpec(config=CONFIG)
+        source, pupil = bare.resolved_optics()
+        assert isinstance(source, AnnularSource)
+        assert pupil.defocus_nm == CONFIG.defocus_nm
+
+    def test_with_focus_changes_fingerprint_and_keeps_aberrations(self, spec):
+        comatic = EngineSpec(config=CONFIG, source=SOURCE,
+                             pupil=Pupil(zernike_coefficients={8: 0.05}))
+        refocused = comatic.with_focus(75.0)
+        assert refocused.config.defocus_nm == 75.0
+        assert refocused.pupil.defocus_nm == 75.0
+        assert refocused.pupil.zernike_coefficients == {8: 0.05}
+        assert refocused.fingerprint() != comatic.fingerprint()
+        assert comatic.with_focus(75.0).fingerprint() == refocused.fingerprint()
+
+    def test_build_uses_injected_cache(self, spec, tmp_path):
+        cache = KernelBankCache(cache_dir=str(tmp_path))
+        engine = spec.build(cache=cache)
+        assert cache.stats.decompositions == 1
+        assert engine.order > 0
+        assert len(os.listdir(tmp_path)) == 1  # bank persisted for workers
+
+    def test_spec_is_picklable(self, spec):
+        import pickle
+
+        clone = pickle.loads(pickle.dumps(spec.with_focus(30.0)))
+        assert clone.fingerprint() == spec.with_focus(30.0).fingerprint()
+
+
+class TestShardedExecutor:
+    def test_sharded_equals_serial_bit_for_bit(self, spec, masks, tmp_path):
+        serial = ShardedExecutor(num_workers=1, cache_dir=str(tmp_path))
+        reference = serial.aerial_batch(spec, masks)
+        assert not serial.last_used_pool
+        with ShardedExecutor(num_workers=2, cache_dir=str(tmp_path)) as sharded:
+            result = sharded.aerial_batch(spec, masks)
+            assert sharded.last_used_pool
+            assert sharded.last_num_shards == 2
+        np.testing.assert_array_equal(result, reference)
+
+    def test_spawn_workers_match_serial(self, spec, masks, tmp_path):
+        """Spawn context: workers inherit nothing and must use the disk cache."""
+        serial = ShardedExecutor(num_workers=1, cache_dir=str(tmp_path))
+        reference = serial.aerial_batch(spec, masks)
+        context = multiprocessing.get_context("spawn")
+        with ShardedExecutor(num_workers=2, cache_dir=str(tmp_path),
+                             mp_context=context) as sharded:
+            result = sharded.aerial_batch(spec, masks)
+            assert sharded.last_used_pool
+        np.testing.assert_array_equal(result, reference)
+
+    def test_zero_workers_falls_back_to_serial(self, spec, masks):
+        executor = ShardedExecutor(num_workers=0)
+        result = executor.aerial_batch(spec, masks)
+        assert not executor.last_used_pool
+        reference = ShardedExecutor(num_workers=1).aerial_batch(spec, masks)
+        np.testing.assert_array_equal(result, reference)
+
+    def test_engine_memo_is_bounded(self, tmp_path):
+        from repro.engine.sharded import ENGINE_MEMO_LIMIT
+
+        executor = ShardedExecutor(num_workers=1, cache_dir=str(tmp_path))
+        base = EngineSpec(config=CONFIG, source=SOURCE)
+        for index in range(ENGINE_MEMO_LIMIT + 3):
+            executor.warm(base.with_focus(10.0 * index))
+        assert len(executor._local_engines) == ENGINE_MEMO_LIMIT
+        # The backing cache was trimmed after each build: banks live on disk,
+        # not in memory, so long campaigns stay bounded.
+        assert len(executor._local_cache) == 0
+        assert executor._local_cache.stats.decompositions == ENGINE_MEMO_LIMIT + 3
+
+    def test_single_tile_batch_stays_serial(self, spec, masks):
+        executor = ShardedExecutor(num_workers=4)
+        result = executor.aerial_batch(spec, masks[:1])
+        assert not executor.last_used_pool
+        assert result.shape == (1, 32, 32)
+
+    def test_empty_batch(self, spec):
+        executor = ShardedExecutor(num_workers=2)
+        assert executor.aerial_batch(spec, np.zeros((0, 32, 32))).shape == (0, 32, 32)
+
+    def test_shard_slices_partition_deterministically(self):
+        executor = ShardedExecutor(num_workers=3)
+        slices = executor._shard_slices(8)
+        assert [(s.start, s.stop) for s in slices] == [(0, 3), (3, 6), (6, 8)]
+
+    def test_image_layout_matches_in_process_engine(self, spec, tmp_path):
+        layout = (np.random.default_rng(4).random((70, 90)) > 0.75).astype(float)
+        with ShardedExecutor(num_workers=2, cache_dir=str(tmp_path)) as executor:
+            sharded = executor.image_layout(spec, layout, guard_px=8)
+        reference = spec.build(cache=KernelBankCache()).image_layout(
+            layout, guard_px=8)
+        np.testing.assert_array_equal(sharded.aerial, reference.aerial)
+        np.testing.assert_array_equal(sharded.resist, reference.resist)
+        assert sharded.num_tiles == reference.num_tiles
+
+    def test_resist_batch_binary(self, spec, masks):
+        executor = ShardedExecutor(num_workers=1)
+        resist = executor.resist_batch(spec, masks)
+        assert set(np.unique(resist)).issubset({0, 1})
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(num_workers=-1)
+        with pytest.raises(ValueError):
+            ShardedExecutor(min_shard_tiles=0)
+        with pytest.raises(ValueError):
+            ShardedExecutor(num_workers=1).aerial_batch(
+                EngineSpec(config=CONFIG), np.zeros((4, 4)))
+
+    def test_available_workers_positive(self):
+        assert available_workers() >= 1
+
+
+class TestCacheWarmAcrossProcesses:
+    """The sharded executor's enabling mechanism: banks persist across processes."""
+
+    def test_fresh_process_loads_bank_without_recomputation(self, tmp_path):
+        cache = KernelBankCache(cache_dir=str(tmp_path))
+        bank = cache.get_kernels(CONFIG, AnnularSource(0.5, 0.8), Pupil())
+        assert cache.stats.tcc_computes == 1
+        assert cache.stats.decompositions == 1
+
+        code = textwrap.dedent("""
+            import json, sys
+            from repro.engine import KernelBankCache
+            from repro.optics import OpticsConfig
+            from repro.optics.pupil import Pupil
+            from repro.optics.source import AnnularSource
+
+            cache = KernelBankCache(cache_dir=sys.argv[1])
+            config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0,
+                                  max_socs_order=8)
+            bank = cache.get_kernels(config, AnnularSource(0.5, 0.8), Pupil())
+            print(json.dumps({
+                "tcc_computes": cache.stats.tcc_computes,
+                "decompositions": cache.stats.decompositions,
+                "disk_loads": cache.stats.disk_loads,
+                "order": int(bank.kernels.shape[0]),
+            }))
+        """)
+        src_dir = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), "..", "src"))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-c", code, str(tmp_path)],
+            capture_output=True, text=True, env=env, check=True)
+        stats = json.loads(completed.stdout.strip().splitlines()[-1])
+        assert stats["tcc_computes"] == 0, "fresh process recomputed the TCC"
+        assert stats["decompositions"] == 0, "fresh process re-eigendecomposed"
+        assert stats["disk_loads"] == 1
+        assert stats["order"] == bank.kernels.shape[0]

@@ -5,7 +5,6 @@ heavily reduced budgets so the whole file stays fast.  A single module-scoped
 context is shared so models are trained once.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
@@ -32,6 +31,10 @@ from repro.experiments.table5 import run_table5
 
 PRESET = "tiny"
 SEED = 7
+
+# Full table / figure drivers train models even at the tiny preset; let quick
+# developer loops deselect them with `-m "not slow"`.
+pytestmark = pytest.mark.slow
 
 
 class TestExperimentConfig:

@@ -6,7 +6,6 @@ dL/dx and the gradient of a complex tensor must match dL/da + i dL/db
 """
 
 import numpy as np
-import pytest
 
 from repro.nn import functional as F
 from repro.nn.tensor import Tensor

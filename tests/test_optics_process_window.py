@@ -2,14 +2,19 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.optics import OpticsConfig
 from repro.optics.process_window import (
     FocusExposurePoint,
     ProcessWindowAnalyzer,
     ProcessWindowResult,
+    _longest_printed_run_loop,
     bossung_curves,
+    longest_printed_run,
     measure_cd,
+    widest_feature_row,
 )
 from repro.optics.source import CircularSource
 
@@ -52,6 +57,37 @@ class TestMeasureCD:
         resist[2, 1:3] = 1
         resist[2, 5:11] = 1
         assert measure_cd(resist, row=2) == 6.0
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.booleans(), max_size=300))
+    def test_vectorized_run_scan_matches_reference_loop(self, bits):
+        """Property: the np.diff scan agrees with the pre-vectorisation loop."""
+        line = np.array(bits, dtype=bool)
+        assert longest_printed_run(line) == _longest_printed_run_loop(line)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1),
+           st.integers(min_value=1, max_value=40),
+           st.integers(min_value=1, max_value=40))
+    def test_vectorized_measure_cd_matches_loop_on_random_resists(
+            self, seed, height, width):
+        resist = np.random.default_rng(seed).random((height, width)) > 0.6
+        for row in range(height):
+            expected = _longest_printed_run_loop(resist[row]) * 2.5
+            assert measure_cd(resist, row=row, pixel_size_nm=2.5) == expected
+
+    def test_run_scan_rejects_2d(self):
+        with pytest.raises(ValueError):
+            longest_printed_run(np.zeros((3, 3), dtype=bool))
+
+    def test_widest_feature_row(self):
+        resist = np.zeros((6, 12))
+        resist[1, 2:5] = 1
+        resist[4, 3:10] = 1
+        assert widest_feature_row(resist) == 4
+        assert widest_feature_row(np.zeros((7, 9))) == 3  # centre fallback
+        with pytest.raises(ValueError):
+            widest_feature_row(np.zeros(5))
 
     def test_row_selection_and_validation(self):
         resist = np.zeros((6, 6))

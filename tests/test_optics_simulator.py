@@ -5,7 +5,6 @@ import pytest
 
 from repro.optics import (
     AnnularSource,
-    LithographySimulator,
     OpticsConfig,
     calibre_like_engine,
     lithosim_engine,

@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.optics.grid import make_grid
 from repro.optics.pupil import Pupil
 from repro.optics.socs import decompose_tcc, kernels_from_matrix, truncation_error_bound
 from repro.optics.source import AnnularSource, CircularSource
-from repro.optics.tcc import TCCResult, compute_tcc, tcc_diagonal
+from repro.optics.tcc import compute_tcc, tcc_diagonal
 
 WAVELENGTH = 193.0
 NA = 1.35

@@ -12,6 +12,7 @@ numbers recorded in EXPERIMENTS.md can be refreshed by re-running the harness.
 
 from __future__ import annotations
 
+import json
 import os
 
 import pytest
@@ -59,6 +60,27 @@ def record_output():
         path = os.path.join(RESULTS_DIR, f"{name}.txt")
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text if text.endswith("\n") else text + "\n")
+        return path
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def record_json():
+    """Write a machine-readable benchmark record to benchmarks/results/<name>.json.
+
+    The free-text ``record_output`` reports are for humans; these JSON files
+    are the repo's perf trajectory — benchmark runs append one file per
+    (op, configuration) so regressions are diffable across commits and CI
+    uploads them as artifacts alongside the ``.txt`` tables.
+    """
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _record(name: str, payload) -> str:
+        path = os.path.join(RESULTS_DIR, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
         return path
 
     return _record

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -170,6 +170,90 @@ def measure_sharded_throughput(spec, masks: Sequence[np.ndarray],
             warmup=0)
     return ShardedThroughputResult(serial=serial, sharded=sharded,
                                    num_workers=num_workers, identical=identical)
+
+
+@dataclass(frozen=True)
+class BackendMatrixEntry:
+    """One (backend x precision) cell of the compute-policy sweep."""
+
+    backend: str
+    precision: str
+    result: ThroughputResult
+    #: Throughput ratio against the seed-equivalent baseline (numpy backend,
+    #: complex128, full-spectrum transforms); 1.0 is "no better than seed".
+    speedup_vs_seed: float
+
+    def to_record(self, op: str, shape: Tuple[int, int]) -> Dict[str, object]:
+        """Machine-readable benchmark record (the ``BENCH_*.json`` schema)."""
+        return {
+            "op": op,
+            "shape": list(shape),
+            "backend": self.backend,
+            "precision": self.precision,
+            "seconds": self.result.seconds_per_tile,
+            "um2_per_second": self.result.um2_per_second,
+            "speedup": self.speedup_vs_seed,
+        }
+
+
+def measure_backend_matrix(kernels: np.ndarray, masks: Sequence[np.ndarray],
+                           pixel_size_nm: float,
+                           combos: Optional[Sequence[Tuple[str, str]]] = None,
+                           repeats: int = 1,
+                           max_chunk_bytes: Optional[int] = None,
+                           baseline_run: Optional[Callable[[np.ndarray],
+                                                           np.ndarray]] = None,
+                           baseline_name: Optional[str] = None,
+                           ) -> Tuple[Dict[Tuple[str, str], BackendMatrixEntry],
+                                      ThroughputResult]:
+    """Image the same tile batch under every (backend, precision) combination.
+
+    Returns the matrix plus a baseline measurement against which each
+    entry's ``speedup_vs_seed`` is computed.  ``baseline_run`` defaults to
+    the current engine's full-spectrum numpy/complex128 path (which still
+    benefits from the fused shift-free embeds); pass the literal seed
+    pipeline — as the backend benchmark does — when the recorded speedups
+    must be attributable against the pre-backend-layer code.  ``combos``
+    defaults to every backend available on this machine crossed with
+    float64 and float32.
+    """
+    from ..backend import available_backends
+    from ..engine.batched import (
+        DEFAULT_MAX_CHUNK_BYTES,
+        batched_aerial_from_kernels,
+    )
+
+    if combos is None:
+        combos = [(backend, precision)
+                  for backend in available_backends()
+                  for precision in ("float64", "float32")]
+    chunk_bytes = DEFAULT_MAX_CHUNK_BYTES if max_chunk_bytes is None \
+        else max_chunk_bytes
+
+    if baseline_run is None:
+        baseline_run = lambda batch: batched_aerial_from_kernels(  # noqa: E731
+            batch, kernels, backend="numpy", precision="float64",
+            real_fft=False, max_chunk_bytes=chunk_bytes)
+        baseline_name = baseline_name or \
+            "numpy/complex128 full spectrum (current engine)"
+    baseline = measure_batched_throughput(
+        baseline_name or "baseline", baseline_run,
+        masks, pixel_size_nm, batch_size=len(masks), repeats=repeats)
+
+    matrix: Dict[Tuple[str, str], BackendMatrixEntry] = {}
+    for backend, precision in combos:
+        result = measure_batched_throughput(
+            f"{backend}/{precision}",
+            lambda batch, b=backend, p=precision: batched_aerial_from_kernels(
+                batch, kernels, backend=b, precision=p,
+                max_chunk_bytes=chunk_bytes),
+            masks, pixel_size_nm, batch_size=len(masks), repeats=repeats)
+        speedup_ratio = (result.um2_per_second / baseline.um2_per_second
+                         if baseline.um2_per_second > 0 else float("inf"))
+        matrix[(backend, precision)] = BackendMatrixEntry(
+            backend=backend, precision=precision, result=result,
+            speedup_vs_seed=speedup_ratio)
+    return matrix, baseline
 
 
 def compare_throughput(engines: Dict[str, Callable[[np.ndarray], np.ndarray]],

@@ -1,0 +1,82 @@
+"""Compute-backend layer: every FFT and dtype decision in the repo lives here.
+
+This package is the seam between the imaging engines and the hardware.  It
+owns two orthogonal policies that the whole engine stack
+(:mod:`repro.engine`, :mod:`repro.optics`, :mod:`repro.sweep`,
+:mod:`repro.nn`) resolves through a single pair of calls:
+
+* **Which FFT implementation runs** — :func:`get_backend` resolves an
+  :class:`FFTBackend` by explicit name, the ``REPRO_FFT_BACKEND`` environment
+  variable, or the ``auto`` policy (``scipy`` with ``workers=N``
+  multi-threaded transforms when scipy is importable, ``numpy`` otherwise).
+  New engines (pyFFTW, CuPy, ...) plug in via :func:`register_backend`.
+* **Which precision the pipeline runs at** — :func:`resolve_precision` maps
+  ``"float64"`` (default) or ``"float32"`` (opt-in) to a :class:`Precision`
+  policy carrying the real/complex dtype pair, the byte size used by the
+  batched core's chunk budget, and the documented accuracy tolerance.
+
+Usage
+-----
+>>> from repro.backend import get_backend, resolve_precision
+>>> backend = get_backend()                  # env/auto-selected
+>>> spectrum = backend.rfft2(mask, norm="ortho")   # half-spectrum, real input
+>>> policy = resolve_precision("float32")
+>>> masks32 = policy.as_real(masks)          # float32 masks, complex64 spectra
+>>> from repro.engine import ExecutionEngine
+>>> engine = ExecutionEngine(kernels, fft_backend="scipy", fft_workers=8,
+...                          precision="float32")
+
+Selection can also be driven entirely from the environment::
+
+    REPRO_FFT_BACKEND=scipy REPRO_FFT_WORKERS=8 REPRO_PRECISION=float32 \
+        python -m repro.cli image-layout ...
+
+Registering a GPU backend::
+
+    from repro.backend import register_cupy_backend
+    register_cupy_backend()                  # then REPRO_FFT_BACKEND=cupy
+
+Guarantees
+----------
+* ``rfft2``/``irfft2`` half-spectrum paths equal the full complex transforms
+  to ~1e-12 relative in float64 (property-tested), and worker counts never
+  change results (pocketfft is bit-for-bit deterministic across threads).
+* float32 aerial images agree with the float64 reference to the documented
+  :attr:`Precision.aerial_rtol` (~1e-4, typically ~1e-6 observed).
+* An unknown ``REPRO_FFT_BACKEND`` value fails loudly with the list of
+  registered backends (pinned by a tier-1 test).
+"""
+
+from .fft import (
+    FFT_BACKEND_ENV_VAR,
+    FFT_WORKERS_ENV_VAR,
+    FFTBackend,
+    NumpyFFTBackend,
+    ScipyFFTBackend,
+    available_backends,
+    available_cpus,
+    default_fft_workers,
+    get_backend,
+    register_backend,
+    register_cupy_backend,
+    register_pyfftw_backend,
+    registered_backends,
+)
+from .precision import (
+    FLOAT32,
+    FLOAT64,
+    PRECISION_ENV_VAR,
+    Precision,
+    available_precisions,
+    resolve_precision,
+)
+
+__all__ = [
+    "FFTBackend", "NumpyFFTBackend", "ScipyFFTBackend",
+    "get_backend", "register_backend", "registered_backends",
+    "available_backends", "available_cpus", "default_fft_workers",
+    "register_pyfftw_backend", "register_cupy_backend",
+    "FFT_BACKEND_ENV_VAR", "FFT_WORKERS_ENV_VAR",
+    "Precision", "FLOAT32", "FLOAT64", "resolve_precision",
+    "available_precisions", "PRECISION_ENV_VAR",
+]

@@ -1,0 +1,338 @@
+"""Pluggable FFT backends: one seam owning every transform in the repo.
+
+Every FFT in the imaging stack goes through an :class:`FFTBackend`.  Two
+implementations ship:
+
+* :class:`NumpyFFTBackend` — ``numpy.fft`` (always available, single
+  threaded).  ``numpy.fft`` computes in double precision regardless of the
+  input dtype, so this backend casts results back down for single-precision
+  inputs to keep the rest of the pipeline (multiplies, reductions, chunk
+  budgets) genuinely single precision.
+* :class:`ScipyFFTBackend` — ``scipy.fft`` with ``workers=N`` multi-threaded
+  transforms.  scipy's pocketfft computes natively in the input precision and
+  is bit-for-bit deterministic across worker counts (each 2-D transform is an
+  independent work item), so the worker knob never changes results.
+
+Backends register in a process-wide registry; :func:`get_backend` resolves a
+request by explicit name, the ``REPRO_FFT_BACKEND`` environment variable or
+the ``auto`` policy (scipy when importable, else numpy), and fails loudly —
+listing the registered names — for anything unknown.
+
+GPU / FFTW hooks
+----------------
+:func:`register_backend` is the extension point.  A pyFFTW or CuPy backend
+only has to provide the four transform methods and a ``name``; see
+:func:`register_pyfftw_backend` / :func:`register_cupy_backend` for
+ready-made adapters that activate when the library is installed (they are
+documented stubs on machines without the dependency — importing this module
+never requires anything beyond numpy).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+FFT_BACKEND_ENV_VAR = "REPRO_FFT_BACKEND"
+FFT_WORKERS_ENV_VAR = "REPRO_FFT_WORKERS"
+
+_SINGLE = (np.dtype(np.float32), np.dtype(np.complex64))
+
+
+class FFTBackend:
+    """Protocol every compute backend implements (2-D transforms, last two axes).
+
+    All four methods accept/return numpy-compatible arrays, transform the last
+    two axes and honour the numpy ``norm`` conventions.  Implementations must
+    preserve the precision family of the input: single-precision in,
+    single-precision out.
+    """
+
+    #: Registry name (also what ``REPRO_FFT_BACKEND`` selects).
+    name: str = "abstract"
+
+    def fft2(self, array: np.ndarray, norm: Optional[str] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def ifft2(self, array: np.ndarray, norm: Optional[str] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def rfft2(self, array: np.ndarray, norm: Optional[str] = None) -> np.ndarray:
+        """Half-spectrum transform of a real array (last axis -> ``W//2 + 1``)."""
+        raise NotImplementedError
+
+    def irfft2(self, array: np.ndarray, s: Tuple[int, int],
+               norm: Optional[str] = None) -> np.ndarray:
+        """Inverse of :meth:`rfft2` onto an explicit spatial shape ``s``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process (affinity-aware).
+
+    The single source of the platform probe: FFT thread defaults here and
+    process-worker defaults in :mod:`repro.engine.sharded` both delegate to
+    it.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def default_fft_workers() -> int:
+    """Worker count for multi-threaded backends: env override or CPU affinity."""
+    env = os.environ.get(FFT_WORKERS_ENV_VAR)
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(
+                f"{FFT_WORKERS_ENV_VAR} must be an integer, got {env!r}")
+        if value > 0:
+            return value
+    return available_cpus()
+
+
+class NumpyFFTBackend(FFTBackend):
+    """``numpy.fft`` reference backend (single threaded, always available)."""
+
+    name = "numpy"
+
+    def __init__(self, workers: Optional[int] = None):
+        # numpy.fft has no worker knob; accepted for interface uniformity.
+        self.workers = workers
+
+    @staticmethod
+    def _match(out: np.ndarray, in_dtype: np.dtype) -> np.ndarray:
+        # numpy.fft always computes in double; restore the single-precision
+        # family so downstream multiplies/reductions stay cheap.
+        if in_dtype in _SINGLE:
+            target = np.complex64 if np.issubdtype(out.dtype, np.complexfloating) \
+                else np.float32
+            return out.astype(target)
+        return out
+
+    def fft2(self, array, norm=None):
+        return self._match(np.fft.fft2(array, norm=norm), np.asarray(array).dtype)
+
+    def ifft2(self, array, norm=None):
+        return self._match(np.fft.ifft2(array, norm=norm), np.asarray(array).dtype)
+
+    def rfft2(self, array, norm=None):
+        return self._match(np.fft.rfft2(array, norm=norm), np.asarray(array).dtype)
+
+    def irfft2(self, array, s, norm=None):
+        return self._match(np.fft.irfft2(array, s=s, norm=norm),
+                           np.asarray(array).dtype)
+
+
+class ScipyFFTBackend(FFTBackend):
+    """``scipy.fft`` backend: multi-threaded pocketfft, native single precision.
+
+    Parameters
+    ----------
+    workers:
+        Threads per transform batch; ``None`` defers to
+        :func:`default_fft_workers` at call time.  Worker count never changes
+        results (bit-for-bit deterministic), only wall-clock.
+    """
+
+    name = "scipy"
+
+    def __init__(self, workers: Optional[int] = None):
+        import scipy.fft  # noqa: F401 - fail loudly at construction, not first use
+
+        self._fft = __import__("scipy.fft", fromlist=["fft2"])
+        # Resolved once: per-call env reads / affinity syscalls would cost a
+        # syscall per transform and let an already-built backend silently
+        # change thread counts mid-run.
+        self.workers = workers if workers else default_fft_workers()
+
+    def fft2(self, array, norm=None):
+        return self._fft.fft2(array, norm=norm, workers=self.workers)
+
+    def ifft2(self, array, norm=None):
+        return self._fft.ifft2(array, norm=norm, workers=self.workers)
+
+    def rfft2(self, array, norm=None):
+        return self._fft.rfft2(array, norm=norm, workers=self.workers)
+
+    def irfft2(self, array, s, norm=None):
+        return self._fft.irfft2(array, s=s, norm=norm, workers=self.workers)
+
+
+# --------------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Callable[[Optional[int]], FFTBackend]] = {}
+_INSTANCES: Dict[Tuple[str, Optional[int]], FFTBackend] = {}
+
+
+def register_backend(name: str,
+                     factory: Callable[[Optional[int]], FFTBackend]) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``factory`` receives the requested worker count (``None`` = default) and
+    returns an :class:`FFTBackend`.  Registration makes the name selectable
+    via :func:`get_backend` and ``REPRO_FFT_BACKEND``.
+    """
+    key = name.strip().lower()
+    if not key or key == "auto":
+        raise ValueError(f"backend name {name!r} is reserved")
+    _REGISTRY[key] = factory
+    _INSTANCES.clear()
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Names selectable via :func:`get_backend` (sorted; excludes ``auto``)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends that actually construct on this machine."""
+    names = []
+    for name in registered_backends():
+        try:
+            _REGISTRY[name](None)
+        except Exception:
+            continue
+        names.append(name)
+    return tuple(names)
+
+
+def _scipy_importable() -> bool:
+    try:
+        import scipy.fft  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def get_backend(name: Optional[str] = None,
+                workers: Optional[int] = None) -> FFTBackend:
+    """Resolve a backend by name, environment variable or the ``auto`` policy.
+
+    Resolution order: explicit ``name`` argument, then ``REPRO_FFT_BACKEND``,
+    then ``auto`` (scipy when importable, numpy otherwise).  Unknown names
+    raise ``ValueError`` listing every registered backend — a misconfigured
+    environment fails loudly instead of silently imaging on the wrong engine.
+    """
+    requested = name or os.environ.get(FFT_BACKEND_ENV_VAR) or "auto"
+    key = requested.strip().lower()
+    if key == "auto":
+        key = "scipy" if "scipy" in _REGISTRY and _scipy_importable() else "numpy"
+    if key not in _REGISTRY:
+        raise ValueError(
+            f"unknown FFT backend {requested!r} (from "
+            f"{'argument' if name else FFT_BACKEND_ENV_VAR}); registered "
+            f"backends: {', '.join(registered_backends())}")
+    cache_key = (key, workers)
+    backend = _INSTANCES.get(cache_key)
+    if backend is None:
+        backend = _REGISTRY[key](workers)
+        _INSTANCES[cache_key] = backend
+    return backend
+
+
+def _scipy_factory(workers: Optional[int]) -> FFTBackend:
+    try:
+        return ScipyFFTBackend(workers=workers)
+    except ImportError as exc:
+        raise ValueError(
+            "the 'scipy' FFT backend requires scipy; install it or select "
+            "REPRO_FFT_BACKEND=numpy") from exc
+
+
+register_backend("numpy", lambda workers: NumpyFFTBackend(workers=workers))
+register_backend("scipy", _scipy_factory)
+
+
+# --------------------------------------------------------------------------- #
+# optional third-party backends (documented hooks)
+# --------------------------------------------------------------------------- #
+def register_pyfftw_backend() -> None:
+    """Register a pyFFTW backend under the name ``pyfftw``.
+
+    Documented stub on machines without pyFFTW: calling it raises
+    ``ImportError`` with instructions, and nothing is registered.  With
+    pyFFTW installed, the adapter routes through ``pyfftw.interfaces.numpy_fft``
+    with the plan cache enabled — FFTW's planned transforms are typically
+    1.5-3x faster than pocketfft on large repeated shapes.
+    """
+    try:
+        import pyfftw
+        import pyfftw.interfaces.numpy_fft as fftw_fft
+    except ImportError as exc:  # pragma: no cover - optional dependency
+        raise ImportError(
+            "pyFFTW is not installed; `pip install pyfftw` and call "
+            "register_pyfftw_backend() again (or register your own adapter "
+            "via register_backend)") from exc
+
+    pyfftw.interfaces.cache.enable()
+
+    class PyFFTWBackend(FFTBackend):  # pragma: no cover - optional dependency
+        name = "pyfftw"
+
+        def __init__(self, workers: Optional[int] = None):
+            self.workers = workers
+
+        def _threads(self) -> int:
+            return self.workers if self.workers else default_fft_workers()
+
+        def fft2(self, array, norm=None):
+            return fftw_fft.fft2(array, norm=norm, threads=self._threads())
+
+        def ifft2(self, array, norm=None):
+            return fftw_fft.ifft2(array, norm=norm, threads=self._threads())
+
+        def rfft2(self, array, norm=None):
+            return fftw_fft.rfft2(array, norm=norm, threads=self._threads())
+
+        def irfft2(self, array, s, norm=None):
+            return fftw_fft.irfft2(array, s=s, norm=norm, threads=self._threads())
+
+    register_backend("pyfftw", lambda workers: PyFFTWBackend(workers=workers))
+
+
+def register_cupy_backend() -> None:
+    """Register a CuPy (GPU) backend under the name ``cupy``.
+
+    Documented stub on machines without CuPy/CUDA.  The adapter keeps the
+    host<->device boundary at the backend seam: arrays go up per call and
+    results come back as numpy arrays, so every consumer stays device
+    agnostic.  For peak GPU throughput a future revision should keep whole
+    chunks resident on the device (kernel product + reduction included) — the
+    backend protocol is the place to grow that.
+    """
+    try:
+        import cupy
+    except ImportError as exc:  # pragma: no cover - optional dependency
+        raise ImportError(
+            "CuPy is not installed; install a cupy-cuda* wheel matching your "
+            "CUDA toolkit and call register_cupy_backend() again") from exc
+
+    class CupyFFTBackend(FFTBackend):  # pragma: no cover - optional dependency
+        name = "cupy"
+
+        def __init__(self, workers: Optional[int] = None):
+            self.workers = workers  # unused: cuFFT parallelism is implicit
+
+        def fft2(self, array, norm=None):
+            return cupy.asnumpy(cupy.fft.fft2(cupy.asarray(array), norm=norm))
+
+        def ifft2(self, array, norm=None):
+            return cupy.asnumpy(cupy.fft.ifft2(cupy.asarray(array), norm=norm))
+
+        def rfft2(self, array, norm=None):
+            return cupy.asnumpy(cupy.fft.rfft2(cupy.asarray(array), norm=norm))
+
+        def irfft2(self, array, s, norm=None):
+            return cupy.asnumpy(cupy.fft.irfft2(cupy.asarray(array), s=s, norm=norm))
+
+    register_backend("cupy", lambda workers: CupyFFTBackend(workers=workers))

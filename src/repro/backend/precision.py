@@ -1,0 +1,104 @@
+"""Numerical precision policy threaded through the whole engine stack.
+
+The paper's accuracy targets (sub-percent CD errors, ~1e-2 relative aerial
+intensity) are far looser than double precision, so the imaging engines can
+trade precision for speed: single-precision transforms move half the bytes,
+and the batched core's byte-denominated chunk budget fits twice the masks per
+chunk.  A :class:`Precision` names the dtype pair every layer agrees on:
+
+* masks / aerial intensities use :attr:`Precision.real_dtype`,
+* spectra / kernel banks use :attr:`Precision.complex_dtype`,
+* the kernel-bank cache keys banks by precision so banks never mix dtypes,
+* :attr:`Precision.aerial_rtol` documents the relative tolerance against the
+  float64 reference that the property tests pin.
+
+``float64`` stays the default everywhere; ``float32`` is strictly opt-in
+(constructor argument, ``--precision`` on the CLI, or the
+``REPRO_PRECISION`` environment variable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+PRECISION_ENV_VAR = "REPRO_PRECISION"
+
+
+@dataclass(frozen=True)
+class Precision:
+    """A named pair of real / complex dtypes plus its documented tolerance."""
+
+    name: str
+    real_dtype: np.dtype = field(repr=False)
+    complex_dtype: np.dtype = field(repr=False)
+    #: Documented relative tolerance of aerial intensities against the
+    #: float64 reference path (0.0 means "is the reference").
+    aerial_rtol: float = 0.0
+
+    @property
+    def complex_itemsize(self) -> int:
+        """Bytes per complex sample — the unit of the chunk-budget arithmetic."""
+        return int(np.dtype(self.complex_dtype).itemsize)
+
+    def as_real(self, array: np.ndarray) -> np.ndarray:
+        """Cast to the policy's real dtype (no copy when already right)."""
+        return np.asarray(array, dtype=self.real_dtype)
+
+    def as_complex(self, array: np.ndarray) -> np.ndarray:
+        """Cast to the policy's complex dtype (no copy when already right)."""
+        return np.asarray(array, dtype=self.complex_dtype)
+
+
+FLOAT64 = Precision(name="float64", real_dtype=np.dtype(np.float64),
+                    complex_dtype=np.dtype(np.complex128), aerial_rtol=0.0)
+#: float32 aerial images agree with float64 to ~1e-4 relative (pinned by
+#: ``tests/test_backend.py``); the documented guarantee is deliberately
+#: looser than the typically observed ~1e-6.
+FLOAT32 = Precision(name="float32", real_dtype=np.dtype(np.float32),
+                    complex_dtype=np.dtype(np.complex64), aerial_rtol=1e-4)
+
+_PRECISIONS = {FLOAT64.name: FLOAT64, FLOAT32.name: FLOAT32}
+# Friendly aliases (numpy dtype names / chars included via np.dtype below).
+_ALIASES = {"double": FLOAT64, "fp64": FLOAT64, "single": FLOAT32, "fp32": FLOAT32}
+
+
+def available_precisions() -> tuple:
+    """Names of the supported precision policies."""
+    return tuple(sorted(_PRECISIONS))
+
+
+def resolve_precision(precision: Optional[Union[str, "Precision", np.dtype, type]] = None,
+                      ) -> Precision:
+    """Resolve any reasonable spelling of a precision to its policy object.
+
+    ``None`` consults the ``REPRO_PRECISION`` environment variable and falls
+    back to :data:`FLOAT64`.  Unknown names fail loudly with the list of
+    supported precisions.
+    """
+    import os
+
+    if precision is None:
+        precision = os.environ.get(PRECISION_ENV_VAR) or FLOAT64.name
+    if isinstance(precision, Precision):
+        return precision
+    if isinstance(precision, str):
+        key = precision.strip().lower()
+        if key in _PRECISIONS:
+            return _PRECISIONS[key]
+        if key in _ALIASES:
+            return _ALIASES[key]
+    else:
+        try:
+            dtype = np.dtype(precision)
+        except TypeError:
+            dtype = None
+        if dtype is not None:
+            for policy in _PRECISIONS.values():
+                if dtype in (policy.real_dtype, policy.complex_dtype):
+                    return policy
+    raise ValueError(
+        f"unknown precision {precision!r}; supported precisions: "
+        f"{', '.join(available_precisions())}")

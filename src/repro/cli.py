@@ -166,7 +166,11 @@ def command_image_layout(arguments) -> int:
     config = OpticsConfig(tile_size_px=arguments.tile_size,
                           pixel_size_nm=arguments.pixel_size_nm)
     source = make_source(arguments.source) if arguments.source else None
-    engine = ExecutionEngine.for_optics(config, source=source)
+    engine = ExecutionEngine.for_optics(
+        config, source=source,
+        fft_backend=arguments.fft_backend or None,
+        fft_workers=arguments.fft_workers or None,
+        precision=arguments.precision or None)
 
     start = time.perf_counter()
     result = engine.image_layout(mask, tile_px=arguments.tile_size,
@@ -178,7 +182,8 @@ def command_image_layout(arguments) -> int:
     print(f"imaged {height}x{width} px layout "
           f"({result.num_tiles} tiles of {result.tiling.tile_px} px, "
           f"guard {result.tiling.guard_px} px) in {elapsed:.2f} s "
-          f"({area_um2 / max(elapsed, 1e-9):.1f} um^2/s)")
+          f"({area_um2 / max(elapsed, 1e-9):.1f} um^2/s) "
+          f"[{engine.backend.name} backend, {engine.precision.name}]")
     np.savez_compressed(arguments.output, mask=mask, aerial=result.aerial,
                         resist=result.resist)
     print(f"stitched aerial / resist written to {arguments.output}")
@@ -241,7 +246,11 @@ def _run_sweep_window(arguments, grid, num_workers: int,
                           pixel_size_nm=arguments.pixel_size_nm)
     source = make_source(arguments.source) if arguments.source else None
     with ShardedExecutor(num_workers=num_workers, cache_dir=cache_dir) as executor:
-        sweep = ProcessWindowSweep(config, source=source, executor=executor)
+        sweep = ProcessWindowSweep(
+            config, source=source, executor=executor,
+            fft_backend=arguments.fft_backend or None,
+            fft_workers=arguments.fft_workers or None,
+            precision=arguments.precision or None)
 
         # Build (or disk-load) the per-focus kernel banks and spin the worker
         # pool up before the timed campaign so the reported time — and any
@@ -275,7 +284,10 @@ def _run_sweep_window(arguments, grid, num_workers: int,
     if arguments.compare_serial and executor.num_workers > 1:
         serial_sweep = ProcessWindowSweep(
             config, source=source,
-            executor=ShardedExecutor(num_workers=1, cache_dir=cache_dir))
+            executor=ShardedExecutor(num_workers=1, cache_dir=cache_dir),
+            fft_backend=arguments.fft_backend or None,
+            fft_workers=arguments.fft_workers or None,
+            precision=arguments.precision or None)
         serial_start = time.perf_counter()
         serial_outcome = serial_sweep.run(
             mask, target_cd_nm=arguments.target_cd or None, grid=grid,
@@ -322,6 +334,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--preset", default="tiny", choices=("tiny", "small", "default"),
                         help="experiment scale preset")
     parser.add_argument("--seed", type=int, default=0)
+
+
+def _add_compute_options(parser: argparse.ArgumentParser) -> None:
+    """Compute-policy knobs shared by the imaging subcommands."""
+    parser.add_argument("--fft-backend", default="",
+                        help="FFT backend (numpy/scipy/any registered name); "
+                             "default: REPRO_FFT_BACKEND or auto (scipy when "
+                             "importable)")
+    parser.add_argument("--fft-workers", type=int, default=0,
+                        help="threads per FFT for multi-threaded backends; "
+                             "0 = backend default (REPRO_FFT_WORKERS or all "
+                             "available CPUs)")
+    parser.add_argument("--precision", default="", choices=("", "float64", "float32"),
+                        help="imaging precision; float32 halves memory traffic "
+                             "and doubles the chunked batch size "
+                             "(default: REPRO_PRECISION or float64)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -378,6 +406,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="illuminator (circular/annular/dipole/quadrupole); "
                                    "default: the engine's annular source")
     image_layout.add_argument("--output", required=True, help="output .npz path")
+    _add_compute_options(image_layout)
     image_layout.set_defaults(handler=command_image_layout)
 
     sweep = subparsers.add_parser(
@@ -425,6 +454,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "and output equality")
     sweep.add_argument("--output", default="",
                        help="optional output .npz for the focus-exposure matrix")
+    _add_compute_options(sweep)
     sweep.set_defaults(handler=command_sweep_window)
 
     experiments = subparsers.add_parser("experiments", help="run every table / figure driver")

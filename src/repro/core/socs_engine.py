@@ -34,7 +34,7 @@ class KernelBankEngine(ExecutionEngine):
                          tile_size_px=tile_size_px, **kwargs)
 
     def _check_tile(self, mask: np.ndarray) -> np.ndarray:
-        mask = np.asarray(mask, dtype=float)
+        mask = self.precision.as_real(mask)
         if self.tile_size_px is not None and mask.shape[-2:] != (self.tile_size_px,
                                                                  self.tile_size_px):
             raise ValueError(
@@ -48,8 +48,8 @@ class KernelBankEngine(ExecutionEngine):
     def aerial_batch(self, masks: Iterable[np.ndarray]) -> np.ndarray:
         """Aerial images of a batch of tiles in one vectorised pass."""
         if not isinstance(masks, np.ndarray):
-            masks = np.stack([np.asarray(mask, dtype=float) for mask in masks], axis=0)
-        masks = np.asarray(masks, dtype=float)
+            masks = np.stack([self.precision.as_real(mask) for mask in masks], axis=0)
+        masks = self.precision.as_real(masks)
         if masks.ndim != 3:
             raise ValueError("masks must have shape (B, H, W)")
         return super().aerial_batch(self._check_tile(masks))
@@ -72,4 +72,6 @@ class KernelBankEngine(ExecutionEngine):
                                 resist_threshold=self.resist_model.threshold,
                                 tile_size_px=self.tile_size_px,
                                 band_limited=self.band_limited,
-                                max_chunk_elements=self.max_chunk_elements)
+                                max_chunk_bytes=self.max_chunk_bytes,
+                                fft_backend=self.backend,
+                                precision=self.precision)

@@ -17,10 +17,16 @@ throughput benchmarks — runs through this package:
 * :mod:`repro.engine.sharded` — multiprocess sharding of tile batches
   (:class:`ShardedExecutor`), with workers warmed from the disk-backed
   kernel cache and a deterministic, bit-identical stitch order.
+
+Every FFT and dtype decision is delegated to the compute-backend layer in
+:mod:`repro.backend`: engines accept ``fft_backend`` / ``fft_workers`` /
+``precision`` and default to the environment-selected backend
+(``REPRO_FFT_BACKEND``, auto = multi-threaded scipy when importable) at
+float64.
 """
 
 from .batched import (
-    DEFAULT_MAX_CHUNK_ELEMENTS,
+    DEFAULT_MAX_CHUNK_BYTES,
     batch_chunk_size,
     batched_aerial_from_kernels,
     batched_resist_from_kernels,
@@ -44,7 +50,7 @@ from .tiling import (
 )
 
 __all__ = [
-    "DEFAULT_MAX_CHUNK_ELEMENTS", "batch_chunk_size",
+    "DEFAULT_MAX_CHUNK_BYTES", "batch_chunk_size",
     "batched_aerial_from_kernels", "batched_resist_from_kernels",
     "CacheStats", "KernelBankCache", "configure_default_cache",
     "default_kernel_cache", "optics_fingerprint",

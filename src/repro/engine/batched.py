@@ -4,9 +4,9 @@ The seed code imaged batches of masks by looping the single-tile path in
 Python.  Here a whole batch ``(B, H, W)`` moves through the pipeline as one
 array program:
 
-1. one broadcast ``fft2`` produces every mask spectrum at once,
+1. one broadcast FFT produces every mask spectrum at once,
 2. one broadcast multiply forms the ``(B, r, n, m)`` kernel products,
-3. one batched ``ifft2`` returns the coherent fields, and
+3. one batched inverse FFT returns the coherent fields, and
 4. a reduction over the kernel axis yields the aerial intensities.
 
 On top of the plain batched evaluation, :func:`batched_aerial_from_kernels`
@@ -16,93 +16,135 @@ intensity — whose spectrum is the autocorrelation of the field spectrum — is
 band-limited to ``(2n - 1) x (2m - 1)`` samples.  The intensity is therefore
 evaluated exactly on a small ``2n x 2m`` grid and Fourier-upsampled (zero-pad
 in the frequency domain, an exact sinc interpolation for band-limited
-signals) to the requested output resolution.  This replaces ``r`` full-size
-inverse FFTs per mask with ``r`` kernel-window-size FFTs plus one full-size
-FFT pair, and is numerically equivalent to the direct path to floating-point
-rounding.
+signals) to the requested output resolution.
+
+Every transform goes through the pluggable compute backend
+(:mod:`repro.backend`), which adds two further hot-path wins:
+
+* **Real-input fast path** — masks and intensities are real, so the forward
+  transforms use ``rfft2`` half spectra (the centred kernel window is
+  gathered via Hermitian symmetry) and the upsampling runs
+  ``rfft2``/``irfft2``, halving the transform work; the embeds write
+  quadrants directly into unshifted layout, so no per-chunk full-size
+  ``fftshift``/``ifftshift`` survives in the loop.
+* **Precision policy** — a :class:`~repro.backend.Precision` threads the
+  dtype decision through the pipeline; float32 halves every byte moved, and
+  because the chunk budget is denominated in **bytes** the effective batch
+  size per chunk doubles.
 
 Memory is bounded by chunking the batch axis so the intermediate
-``(B, r, ...)`` product array never exceeds ``max_chunk_elements`` complex
-samples; within a chunk everything is a single vectorised expression.
+``(B, r, ...)`` product array never exceeds ``max_chunk_bytes``; within a
+chunk everything is a single vectorised expression.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import FFTBackend, Precision, get_backend, resolve_precision
 from ..optics.aerial import mask_spectrum
-from ..optics.grid import embed_centre
+from ..optics.grid import embed_centre_unshifted
 
-#: Upper bound on the number of complex samples held by any per-chunk
-#: intermediate — the ``(B, r, ...)`` kernel-product stack and the
-#: ``(B, H, W)`` upsampling spectra alike (2**24 complex128 samples =
-#: 256 MiB), keeping peak memory flat for arbitrarily large batches.
-DEFAULT_MAX_CHUNK_ELEMENTS = 2 ** 24
+#: Upper bound in **bytes** on any per-chunk intermediate — the
+#: ``(B, r, ...)`` kernel-product stack and the ``(B, H, W)`` upsampling
+#: spectra alike (256 MiB; the float64 default admits 2**24 complex128
+#: samples, float32 twice as many), keeping peak memory flat for arbitrarily
+#: large batches.
+DEFAULT_MAX_CHUNK_BYTES = 2 ** 28
 
 
-def _as_mask_batch(masks: np.ndarray) -> np.ndarray:
-    masks = np.asarray(masks, dtype=float)
+def _as_mask_batch(masks: np.ndarray, precision: Precision) -> np.ndarray:
+    masks = precision.as_real(masks)
     if masks.ndim != 3:
         raise ValueError("masks must have shape (B, H, W)")
     return masks
 
 
-def _as_kernel_stack(kernels: np.ndarray) -> np.ndarray:
-    kernels = np.asarray(kernels)
+def _as_kernel_stack(kernels: np.ndarray, precision: Precision) -> np.ndarray:
+    kernels = precision.as_complex(kernels)
     if kernels.ndim != 3:
         raise ValueError("kernels must have shape (r, n, m)")
     return kernels
 
 
 def _direct_chunk(masks: np.ndarray, kernels: np.ndarray,
-                  out_h: int, out_w: int) -> np.ndarray:
+                  out_h: int, out_w: int,
+                  backend: FFTBackend, real_fft: bool) -> np.ndarray:
     """Plain batched evaluation at full output resolution (reference path)."""
     n, m = kernels.shape[-2], kernels.shape[-1]
-    spectra = mask_spectrum(masks, (n, m))                    # (B, n, m)
+    spectra = mask_spectrum(masks, (n, m), backend=backend,
+                            real_fft=None if real_fft else False)  # (B, n, m)
     products = kernels[None, :, :, :] * spectra[:, None, :, :]  # (B, r, n, m)
-    embedded = embed_centre(products, out_h, out_w)
-    fields = np.fft.ifft2(np.fft.ifftshift(embedded, axes=(-2, -1)), norm="ortho")
+    embedded = embed_centre_unshifted(products, out_h, out_w)
+    fields = backend.ifft2(embedded, norm="ortho")
     return np.sum(np.abs(fields) ** 2, axis=1)
 
 
 def _band_limited_chunk(masks: np.ndarray, kernels: np.ndarray,
-                        out_h: int, out_w: int) -> np.ndarray:
+                        out_h: int, out_w: int,
+                        backend: FFTBackend, real_fft: bool) -> np.ndarray:
     """Exact evaluation on the intensity band-limit grid + Fourier upsampling."""
     n, m = kernels.shape[-2], kernels.shape[-1]
     small_h, small_w = 2 * n, 2 * m
 
-    spectra = mask_spectrum(masks, (n, m))
+    spectra = mask_spectrum(masks, (n, m), backend=backend,
+                            real_fft=None if real_fft else False)
     products = kernels[None, :, :, :] * spectra[:, None, :, :]
-    embedded = embed_centre(products, small_h, small_w)
-    fields = np.fft.ifft2(np.fft.ifftshift(embedded, axes=(-2, -1)), norm="ortho")
+    embedded = embed_centre_unshifted(products, small_h, small_w)
+    fields = backend.ifft2(embedded, norm="ortho")
     small = np.sum(np.abs(fields) ** 2, axis=1)               # (B, 2n, 2m)
 
     # The intensity spectrum occupies (2n - 1) x (2m - 1) centred samples, so
     # zero-padding it to (out_h, out_w) is an exact sinc interpolation.  The
     # "forward" norm preserves sample values; the area ratio restores the
     # orthonormal-FFT intensity scale of the full-resolution evaluation.
-    spectrum = np.fft.fftshift(np.fft.fft2(small, norm="forward"), axes=(-2, -1))
-    padded = embed_centre(spectrum, out_h, out_w)
-    upsampled = np.real(np.fft.ifft2(np.fft.ifftshift(padded, axes=(-2, -1)),
-                                     norm="forward"))
-    return upsampled * (small_h * small_w) / float(out_h * out_w)
+    if real_fft:
+        # Half-spectrum upsampling: the small intensity is real, its rfft2
+        # columns 0..m all fit inside the target half spectrum (2m <= out_w),
+        # and the band limit keeps the Nyquist bins at rounding level, so
+        # placing the n positive- and n negative-frequency row blocks at the
+        # target's corners is the same zero-padding — without ever forming
+        # the full spectrum or shifting it.
+        half = backend.rfft2(small, norm="forward")           # (B, 2n, m + 1)
+        padded = np.zeros(small.shape[:-2] + (out_h, out_w // 2 + 1),
+                          dtype=half.dtype)
+        padded[..., :n, :m + 1] = half[..., :n, :]
+        padded[..., out_h - n:, :m + 1] = half[..., n:, :]
+        upsampled = backend.irfft2(padded, s=(out_h, out_w), norm="forward")
+    else:
+        spectrum = np.fft.fftshift(backend.fft2(small, norm="forward"),
+                                   axes=(-2, -1))
+        padded = embed_centre_unshifted(spectrum, out_h, out_w)
+        upsampled = np.real(backend.ifft2(padded, norm="forward"))
+    scale = (small_h * small_w) / float(out_h * out_w)
+    return upsampled * small.dtype.type(scale)
 
 
 def batch_chunk_size(batch: int, order: int, height: int, width: int,
-                     max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS) -> int:
-    """Largest per-chunk batch size keeping ``chunk * r * H * W`` under the cap."""
-    if max_chunk_elements <= 0:
+                     max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+                     itemsize: int = 16) -> int:
+    """Largest per-chunk batch size keeping ``chunk * r * H * W * itemsize`` bytes
+    under the cap.
+
+    The budget is denominated in bytes, so a single-precision run
+    (``itemsize=8`` complex64 samples) fits twice the masks per chunk of a
+    double-precision one.
+    """
+    if max_chunk_bytes <= 0:
         return batch
-    per_mask = max(1, order * height * width)
-    return int(np.clip(max_chunk_elements // per_mask, 1, max(batch, 1)))
+    per_mask = max(1, order * height * width * itemsize)
+    return int(np.clip(max_chunk_bytes // per_mask, 1, max(batch, 1)))
 
 
 def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
                                 output_shape: Optional[Tuple[int, int]] = None,
                                 band_limited: bool = True,
-                                max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS,
+                                max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+                                backend: Optional[Union[FFTBackend, str]] = None,
+                                precision: Optional[Union[Precision, str]] = None,
+                                real_fft: bool = True,
                                 ) -> np.ndarray:
     """Aerial images of a mask batch ``(B, H, W)`` -> ``(B, H, W)``.
 
@@ -120,12 +162,26 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
         (exact, and much faster whenever ``2n < H``).  The direct full-size
         path is used automatically when it is the cheaper or the only exact
         option.
-    max_chunk_elements:
-        Memory cap for the ``(chunk, r, ...)`` intermediates; see
-        :data:`DEFAULT_MAX_CHUNK_ELEMENTS`.
+    max_chunk_bytes:
+        Memory cap in bytes for the ``(chunk, r, ...)`` intermediates; see
+        :data:`DEFAULT_MAX_CHUNK_BYTES`.
+    backend:
+        FFT backend (instance or registered name); ``None`` resolves the
+        default (``REPRO_FFT_BACKEND`` / auto).
+    precision:
+        Precision policy (:class:`~repro.backend.Precision` or name);
+        ``None`` resolves the default (``REPRO_PRECISION`` / float64).
+    real_fft:
+        Use the ``rfft2`` half-spectrum fast path for the real forward /
+        upsampling transforms (default).  ``False`` retains the full
+        complex-spectrum path — the property tests pin the two equal to
+        ~1e-12 relative in float64.
     """
-    masks = _as_mask_batch(masks)
-    kernels = _as_kernel_stack(kernels)
+    if backend is None or isinstance(backend, str):
+        backend = get_backend(backend)
+    precision = resolve_precision(precision)
+    masks = _as_mask_batch(masks, precision)
+    kernels = _as_kernel_stack(kernels, precision)
     batch = masks.shape[0]
     out_h, out_w = masks.shape[-2:] if output_shape is None else output_shape
     order, n, m = kernels.shape
@@ -135,16 +191,20 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
     evaluate = _band_limited_chunk if use_fast else _direct_chunk
 
     if batch == 0:
-        return np.zeros((0, out_h, out_w))
+        return np.zeros((0, out_h, out_w), dtype=precision.real_dtype)
 
     # Bound BOTH intermediates: the (chunk, r, work_h, work_w) kernel-product
     # stack and — on the fast path — the (chunk, out_h, out_w) complex arrays
     # of the Fourier upsampling step.
-    chunk = min(batch_chunk_size(batch, order, work_h, work_w, max_chunk_elements),
-                batch_chunk_size(batch, 1, out_h, out_w, max_chunk_elements))
+    itemsize = precision.complex_itemsize
+    chunk = min(batch_chunk_size(batch, order, work_h, work_w,
+                                 max_chunk_bytes, itemsize),
+                batch_chunk_size(batch, 1, out_h, out_w,
+                                 max_chunk_bytes, itemsize))
     if chunk >= batch:
-        return evaluate(masks, kernels, out_h, out_w)
-    pieces = [evaluate(masks[start:start + chunk], kernels, out_h, out_w)
+        return evaluate(masks, kernels, out_h, out_w, backend, real_fft)
+    pieces = [evaluate(masks[start:start + chunk], kernels, out_h, out_w,
+                       backend, real_fft)
               for start in range(0, batch, chunk)]
     return np.concatenate(pieces, axis=0)
 

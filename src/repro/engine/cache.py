@@ -18,7 +18,11 @@ The fingerprint hashes everything that determines the kernel bank:
 
 The TCC and the SOCS decomposition are cached under separate keys so that two
 consumers sharing optics but using different ``max_socs_order`` truncations
-share the single TCC computation.  Setting a ``cache_dir`` (or the
+share the single TCC computation.  Bank keys also include the requested
+:class:`~repro.backend.Precision`, so a float32 engine and a float64 engine
+never share (or mix) dtypes: the float64 bank is decomposed once and the
+single-precision variant is derived from it by casting, costing one cast
+instead of a second eigendecomposition.  Setting a ``cache_dir`` (or the
 ``REPRO_KERNEL_CACHE_DIR`` environment variable for the default cache) also
 persists decomposed kernel banks to disk as ``.npz`` files, letting separate
 processes skip the eigendecomposition entirely.
@@ -35,6 +39,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from ..backend import FLOAT64, Precision, resolve_precision
 from ..optics.pupil import Pupil
 from ..optics.socs import SOCSKernels, decompose_tcc
 from ..optics.source import Source
@@ -118,8 +123,9 @@ class KernelBankCache:
         return optics_fingerprint(config, source, pupil)
 
     @staticmethod
-    def _bank_key(fingerprint: str, max_order: Optional[int]) -> str:
-        return f"{fingerprint}|order={max_order}"
+    def _bank_key(fingerprint: str, max_order: Optional[int],
+                  precision: Precision = FLOAT64) -> str:
+        return f"{fingerprint}|order={max_order}|prec={precision.name}"
 
     def _kernel_shape(self, config) -> Tuple[int, int]:
         from ..core.kernel_dims import kernel_dimensions  # avoid a core<->engine cycle
@@ -152,16 +158,22 @@ class KernelBankCache:
             return result
 
     def get_kernels(self, config, source: Source, pupil: Pupil,
-                    max_order: Optional[int] = None) -> SOCSKernels:
+                    max_order: Optional[int] = None,
+                    precision=None) -> SOCSKernels:
         """SOCS kernel bank for the fingerprinted optics, decomposed at most once.
 
         ``max_order`` defaults to ``config.max_socs_order`` when the config
-        carries one.
+        carries one.  ``precision`` keys the bank by dtype (float64 default):
+        the eigendecomposition always runs in double, and a single-precision
+        bank is derived from the cached double bank by casting — so banks
+        never mix dtypes and each precision costs at most one cast, never a
+        second decomposition.
         """
         if max_order is None:
             max_order = getattr(config, "max_socs_order", None)
+        precision = resolve_precision(precision)
         fingerprint = self.fingerprint(config, source, pupil)
-        key = self._bank_key(fingerprint, max_order)
+        key = self._bank_key(fingerprint, max_order, precision)
         with self._lock:
             cached = self._banks.get(key)
             if cached is not None:
@@ -173,6 +185,21 @@ class KernelBankCache:
                 self.stats.disk_loads += 1
                 self._banks[key] = loaded
                 return loaded
+            if precision.name != FLOAT64.name:
+                self.stats.misses += 1
+                # Request the float64 master explicitly: a None precision
+                # would re-resolve REPRO_PRECISION and recurse forever when
+                # the environment itself selects float32.
+                base = self.get_kernels(config, source, pupil,
+                                        max_order=max_order, precision=FLOAT64)
+                bank = SOCSKernels(
+                    kernels=base.kernels.astype(precision.complex_dtype),
+                    eigenvalues=base.eigenvalues,
+                    kernel_shape=base.kernel_shape,
+                    total_energy=base.total_energy)
+                self._banks[key] = bank
+                self._save_to_disk(key, bank)
+                return bank
             tcc = self.get_tcc(config, source, pupil)
             self.stats.misses += 1
             self.stats.decompositions += 1

@@ -9,23 +9,29 @@ learned Nitho kernels, anything of shape ``(r, n, m)`` — and provides:
   :mod:`repro.engine.batched`,
 * large-layout imaging (:meth:`image_layout`) via the guard-banded tiling
   pipeline in :mod:`repro.engine.tiling`, lifting the historical
-  "exactly one tile" restriction, and
+  "exactly one tile" restriction,
 * construction from an optics description (:meth:`for_optics`) through the
   process-wide kernel-bank cache in :mod:`repro.engine.cache`, so the TCC +
   eigendecomposition for a given optics fingerprint happens at most once per
-  process no matter how many simulators, experiments or benchmarks ask.
+  process no matter how many simulators, experiments or benchmarks ask, and
+* the compute policy knobs of :mod:`repro.backend`: ``fft_backend`` /
+  ``fft_workers`` select the FFT implementation (numpy, multi-threaded
+  scipy, or anything registered), ``precision`` selects the float64 / float32
+  dtype pair the whole pipeline runs at (the kernel bank is cast once at
+  construction; the cache keys banks by precision so dtypes never mix).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..backend import FFTBackend, Precision, get_backend, resolve_precision
 from ..optics.resist import ConstantThresholdResist
 from .batched import (
-    DEFAULT_MAX_CHUNK_ELEMENTS,
+    DEFAULT_MAX_CHUNK_BYTES,
     batched_aerial_from_kernels,
 )
 from .cache import KernelBankCache, default_kernel_cache
@@ -52,11 +58,25 @@ class ExecutionEngine:
     def __init__(self, kernels: np.ndarray, resist_threshold: float = 0.225,
                  tile_size_px: Optional[int] = None,
                  band_limited: bool = True,
-                 max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS):
+                 max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+                 fft_backend: Optional[Union[FFTBackend, str]] = None,
+                 fft_workers: Optional[int] = None,
+                 precision: Optional[Union[Precision, str]] = None):
         kernels = np.asarray(kernels)
         if kernels.ndim != 3:
             raise ValueError("kernels must have shape (r, n, m)")
-        self.kernels = kernels.astype(np.complex128)
+        #: Precision policy of every array this engine touches (masks cast on
+        #: the way in, kernels cast once here, intensities come back real).
+        self.precision = resolve_precision(precision)
+        if isinstance(fft_backend, FFTBackend):
+            if fft_workers is not None:
+                raise ValueError(
+                    "fft_workers cannot be applied to an already-constructed "
+                    "FFTBackend instance; pass a backend name instead")
+            self.backend = fft_backend
+        else:
+            self.backend = get_backend(fft_backend, workers=fft_workers)
+        self.kernels = kernels.astype(self.precision.complex_dtype)
         self.resist_model = ConstantThresholdResist(resist_threshold)
         #: Tile size the kernel bank was calibrated for.  The kernels sample
         #: frequencies at spacing ``1 / (tile_size_px * pixel_size)``, so
@@ -64,7 +84,7 @@ class ExecutionEngine:
         #: different physical grid; layout tiling always uses this size.
         self.tile_size_px = tile_size_px
         self.band_limited = band_limited
-        self.max_chunk_elements = max_chunk_elements
+        self.max_chunk_bytes = max_chunk_bytes
 
     # ------------------------------------------------------------------ #
     # construction
@@ -72,11 +92,14 @@ class ExecutionEngine:
     @classmethod
     def for_optics(cls, config, source=None, pupil=None,
                    cache: Optional[KernelBankCache] = None,
+                   precision: Optional[Union[Precision, str]] = None,
                    **kwargs) -> "ExecutionEngine":
         """Engine for an optics description, kernels served by the shared cache.
 
         ``source`` / ``pupil`` default to the golden simulator's defaults
         (annular illumination, ideal pupil plus the configured defocus).
+        ``precision`` keys the cache lookup, so a float32 engine receives a
+        complex64 bank and never re-casts per batch.
         """
         from ..optics.pupil import Pupil
         from ..optics.source import AnnularSource
@@ -86,10 +109,11 @@ class ExecutionEngine:
         # "cache or default" would discard an *empty* injected cache, because
         # KernelBankCache defines __len__ and a fresh cache is falsy.
         cache = default_kernel_cache() if cache is None else cache
-        bank = cache.get_kernels(config, source, pupil)
+        precision = resolve_precision(precision)
+        bank = cache.get_kernels(config, source, pupil, precision=precision)
         kwargs.setdefault("resist_threshold", config.resist_threshold)
         kwargs.setdefault("tile_size_px", config.tile_size_px)
-        return cls(bank.kernels, **kwargs)
+        return cls(bank.kernels, precision=precision, **kwargs)
 
     # ------------------------------------------------------------------ #
     # kernel bank
@@ -113,7 +137,9 @@ class ExecutionEngine:
                           resist_threshold=self.resist_model.threshold,
                           tile_size_px=self.tile_size_px,
                           band_limited=self.band_limited,
-                          max_chunk_elements=self.max_chunk_elements)
+                          max_chunk_bytes=self.max_chunk_bytes,
+                          fft_backend=self.backend,
+                          precision=self.precision)
 
     def kernel_energy(self) -> np.ndarray:
         """Per-kernel energy ``sum |K_i|^2`` — proportional to the SOCS eigenvalues."""
@@ -125,12 +151,13 @@ class ExecutionEngine:
     def aerial_batch(self, masks: np.ndarray,
                      output_shape: Optional[Tuple[int, int]] = None) -> np.ndarray:
         """Aerial images of a mask batch ``(B, H, W)`` in one vectorised pass."""
-        masks = np.stack([np.asarray(mask, dtype=float) for mask in masks], axis=0) \
-            if isinstance(masks, (list, tuple)) else np.asarray(masks, dtype=float)
+        masks = np.stack([self.precision.as_real(mask) for mask in masks], axis=0) \
+            if isinstance(masks, (list, tuple)) else self.precision.as_real(masks)
         return batched_aerial_from_kernels(
             masks, self.kernels, output_shape=output_shape,
             band_limited=self.band_limited,
-            max_chunk_elements=self.max_chunk_elements)
+            max_chunk_bytes=self.max_chunk_bytes,
+            backend=self.backend, precision=self.precision)
 
     def aerial(self, mask: np.ndarray) -> np.ndarray:
         """Aerial image of one mask tile.
@@ -143,10 +170,10 @@ class ExecutionEngine:
         """
         from ..optics.aerial import aerial_from_kernels
 
-        mask = np.asarray(mask, dtype=float)
+        mask = self.precision.as_real(mask)
         if mask.ndim != 2:
             raise ValueError("mask must be a 2-D image")
-        return aerial_from_kernels(mask, self.kernels)
+        return aerial_from_kernels(mask, self.kernels, backend=self.backend)
 
     def resist_batch(self, masks: np.ndarray) -> np.ndarray:
         return self.resist_model.develop(self.aerial_batch(masks))
@@ -179,7 +206,7 @@ class ExecutionEngine:
             (one kernel window), the scale over which partially coherent
             cross-talk decays.
         """
-        layout = np.asarray(layout, dtype=float)
+        layout = self.precision.as_real(layout)
         if layout.ndim != 2:
             raise ValueError("layout must be a 2-D image")
         if tiling is None:

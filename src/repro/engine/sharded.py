@@ -38,10 +38,11 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..backend import get_backend, resolve_precision
 from ..optics.pupil import Pupil
 from ..optics.simulator import OpticsConfig
 from ..optics.source import AnnularSource, Source
-from .batched import DEFAULT_MAX_CHUNK_ELEMENTS
+from .batched import DEFAULT_MAX_CHUNK_BYTES
 from .cache import KernelBankCache, default_kernel_cache, optics_fingerprint
 from .execution import ExecutionEngine, LayoutImage
 from .tiling import TilingSpec, default_guard_px, extract_tiles, stitch_tiles
@@ -54,14 +55,34 @@ class EngineSpec:
     Holds the optics description rather than the kernel bank itself: the bank
     can be megabytes, while the spec is a few hundred bytes and the workers
     resolve it through the shared (disk-backed) kernel cache.
+
+    The compute policy travels with the spec: ``fft_backend`` and
+    ``precision`` are normalised to concrete names at construction (``None``
+    resolves the parent's environment, never the worker's), so every worker
+    reconstructs the exact same backend + precision as the parent —
+    the sharded == serial bit-for-bit guarantee holds under every
+    backend/precision combination.  ``fft_workers`` only affects wall-clock
+    (pocketfft is deterministic across worker counts), never output.
     """
 
     config: OpticsConfig
     source: Optional[Source] = None
     pupil: Optional[Pupil] = None
     band_limited: bool = True
-    max_chunk_elements: int = DEFAULT_MAX_CHUNK_ELEMENTS
+    max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES
     cache_dir: Optional[str] = None
+    fft_backend: Optional[str] = None
+    fft_workers: Optional[int] = None
+    precision: Optional[str] = None
+
+    def __post_init__(self):
+        # Normalise the compute policy HERE, in the constructing process:
+        # "auto" / env-var / None must not be re-interpreted by a worker
+        # whose environment could differ.
+        object.__setattr__(self, "fft_backend",
+                           get_backend(self.fft_backend).name)
+        object.__setattr__(self, "precision",
+                           resolve_precision(self.precision).name)
 
     def resolved_optics(self) -> Tuple[Source, Pupil]:
         """Source / pupil with the same defaults as ``ExecutionEngine.for_optics``."""
@@ -74,7 +95,9 @@ class EngineSpec:
         source, pupil = self.resolved_optics()
         base = optics_fingerprint(self.config, source, pupil)
         return (f"{base}|order={getattr(self.config, 'max_socs_order', None)}"
-                f"|band={self.band_limited}|chunk={self.max_chunk_elements}")
+                f"|band={self.band_limited}|chunk={self.max_chunk_bytes}"
+                f"|backend={self.fft_backend}|workers={self.fft_workers}"
+                f"|prec={self.precision}")
 
     def with_focus(self, focus_nm: float) -> "EngineSpec":
         """The same imaging system refocused: config + pupil defocus replaced."""
@@ -94,7 +117,10 @@ class EngineSpec:
         return ExecutionEngine.for_optics(
             self.config, source=source, pupil=pupil, cache=cache,
             band_limited=self.band_limited,
-            max_chunk_elements=self.max_chunk_elements)
+            max_chunk_bytes=self.max_chunk_bytes,
+            fft_backend=self.fft_backend,
+            fft_workers=self.fft_workers,
+            precision=self.precision)
 
 
 # --------------------------------------------------------------------------- #
@@ -154,10 +180,9 @@ def _shard_aerial(spec: EngineSpec, masks: np.ndarray,
 
 def available_workers() -> int:
     """CPUs actually available to this process (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    from ..backend.fft import available_cpus
+
+    return available_cpus()
 
 
 class ShardedExecutor:
@@ -237,6 +262,22 @@ class ShardedExecutor:
             return dataclasses.replace(spec, cache_dir=self.cache_dir)
         return spec
 
+    def _worker_spec(self, spec: EngineSpec, active_workers: int) -> EngineSpec:
+        """The spec as shipped to pool workers: split the FFT thread budget.
+
+        With an unset ``fft_workers`` every worker process would claim every
+        CPU for its own multi-threaded transforms (``num_workers`` processes
+        x ``num_cpus`` threads).  Dividing the budget over the workers that
+        will actually run (``active_workers`` = the shard count, which can be
+        below ``num_workers`` for small batches) keeps total threads at the
+        CPU count without idling cores; worker counts never change FFT
+        results, so the sharded == serial guarantee is untouched.
+        """
+        if spec.fft_workers is not None or active_workers <= 1:
+            return spec
+        budget = max(1, available_workers() // active_workers)
+        return dataclasses.replace(spec, fft_workers=budget)
+
     def warm(self, spec: EngineSpec) -> ExecutionEngine:
         """Build the engine in-process, persisting the bank for the workers.
 
@@ -271,10 +312,12 @@ class ShardedExecutor:
         Results are concatenated in shard-submission order, so the output is
         bit-for-bit the serial output regardless of worker scheduling.
         """
-        masks = np.asarray(masks, dtype=float)
+        spec = self._resolve_spec(spec)
+        # Cast once, in the parent: workers then receive (and return) arrays
+        # in the spec's precision, halving the pickled bytes under float32.
+        masks = resolve_precision(spec.precision).as_real(masks)
         if masks.ndim != 3:
             raise ValueError("masks must have shape (B, H, W)")
-        spec = self._resolve_spec(spec)
         batch = masks.shape[0]
         self.last_used_pool = False
 
@@ -288,9 +331,11 @@ class ShardedExecutor:
             return self.warm(spec).aerial_batch(masks, output_shape=output_shape)
 
         self.warm(spec)  # persist the bank before any worker asks for it
+        worker_spec = self._worker_spec(spec, min(self.num_workers, len(shards)))
         try:
             pool = self._pool_handle()
-            futures = [pool.submit(_shard_aerial, spec, masks[piece], output_shape)
+            futures = [pool.submit(_shard_aerial, worker_spec, masks[piece],
+                                   output_shape)
                        for piece in shards]
             results = [future.result() for future in futures]
             self.last_used_pool = True
@@ -319,10 +364,10 @@ class ShardedExecutor:
         only the per-tile FFT work is distributed.  Geometry semantics match
         :meth:`ExecutionEngine.image_layout` exactly.
         """
-        layout = np.asarray(layout, dtype=float)
+        spec = self._resolve_spec(spec)
+        layout = resolve_precision(spec.precision).as_real(layout)
         if layout.ndim != 2:
             raise ValueError("layout must be a 2-D image")
-        spec = self._resolve_spec(spec)
         engine = self.warm(spec)
         if tiling is None:
             tile_px = tile_px if tile_px is not None else engine.tile_size_px

@@ -93,7 +93,9 @@ def extract_tiles(layout: np.ndarray, spec: TilingSpec,
     Each tile window extends ``guard_px`` pixels beyond its core on every
     side; content beyond the layout boundary is zero (an empty reticle).
     """
-    layout = np.asarray(layout, dtype=float)
+    layout = np.asarray(layout)
+    if not np.issubdtype(layout.dtype, np.floating):
+        layout = layout.astype(float)
     if layout.ndim != 2:
         raise ValueError("layout must be a 2-D image")
     height, width = layout.shape

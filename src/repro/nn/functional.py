@@ -526,23 +526,29 @@ def modrelu(a, bias: float = 0.0) -> Tensor:
 # Fourier transforms (orthonormal so the adjoint equals the inverse)
 # --------------------------------------------------------------------------- #
 def fft2(a) -> Tensor:
+    from ..backend import get_backend  # deferred: keep nn importable standalone
+
+    backend = get_backend()
     a = as_tensor(a)
-    out_data = np.fft.fft2(a.data, norm="ortho")
+    out_data = backend.fft2(a.data, norm="ortho")
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(np.fft.ifft2(grad, norm="ortho"))
+            a._accumulate(backend.ifft2(grad, norm="ortho"))
 
     return _make(out_data, (a,), backward)
 
 
 def ifft2(a) -> Tensor:
+    from ..backend import get_backend  # deferred: keep nn importable standalone
+
+    backend = get_backend()
     a = as_tensor(a)
-    out_data = np.fft.ifft2(a.data, norm="ortho")
+    out_data = backend.ifft2(a.data, norm="ortho")
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(np.fft.fft2(grad, norm="ortho"))
+            a._accumulate(backend.fft2(grad, norm="ortho"))
 
     return _make(out_data, (a,), backward)
 

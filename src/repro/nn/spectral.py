@@ -60,11 +60,14 @@ def spectral_conv2d(x, weight, modes: int) -> Tensor:
         full_data_shape = list(full.shape)
         full_data_shape[-2] += extra_h
         full_data_shape[-1] += extra_w
+        # Zero padding follows the spectrum's dtype, so a single-precision
+        # pipeline (complex64 spectra via the backend layer) stays single.
+        pad_dtype = full.data.dtype
         embedded = F.concatenate(
-            [full, Tensor(np.zeros(full.shape[:-2] + (extra_h, full.shape[-1]), dtype=np.complex128))],
+            [full, Tensor(np.zeros(full.shape[:-2] + (extra_h, full.shape[-1]), dtype=pad_dtype))],
             axis=-2) if extra_h else full
         embedded = F.concatenate(
-            [embedded, Tensor(np.zeros(embedded.shape[:-1] + (extra_w,), dtype=np.complex128))],
+            [embedded, Tensor(np.zeros(embedded.shape[:-1] + (extra_w,), dtype=pad_dtype))],
             axis=-1) if extra_w else embedded
         full = embedded
     output = F.real(F.ifft2(F.ifftshift2(full)))

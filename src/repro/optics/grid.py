@@ -87,6 +87,31 @@ def embed_centre(block: np.ndarray, height: int, width: int) -> np.ndarray:
     return out
 
 
+def embed_centre_unshifted(block: np.ndarray, height: int, width: int) -> np.ndarray:
+    """Embed a centred-DC ``block`` directly into an *unshifted* spectrum layout.
+
+    Bit-for-bit equal to ``np.fft.ifftshift(embed_centre(block, height,
+    width), axes=(-2, -1))`` — the centred frequency ``c`` lands at unshifted
+    index ``c % size`` — but writes the four quadrants straight to their
+    corners instead of materialising the centred embedding and then moving
+    every sample of the full-size array a second time.  This removes the
+    per-chunk full-size ``ifftshift`` from the batched imaging hot loop.
+    """
+    bh, bw = block.shape[-2], block.shape[-1]
+    if bh > height or bw > width:
+        raise ValueError(f"block ({bh}, {bw}) larger than target ({height}, {width})")
+    out = np.zeros(block.shape[:-2] + (height, width), dtype=block.dtype)
+    # Block row i holds centred frequency i - bh//2: the first bh//2 rows are
+    # negative frequencies (wrap to the bottom), the rest non-negative.
+    neg_h, neg_w = bh // 2, bw // 2
+    pos_h, pos_w = bh - neg_h, bw - neg_w
+    out[..., :pos_h, :pos_w] = block[..., neg_h:, neg_w:]
+    out[..., :pos_h, width - neg_w:] = block[..., neg_h:, :neg_w]
+    out[..., height - neg_h:, :pos_w] = block[..., :neg_h, neg_w:]
+    out[..., height - neg_h:, width - neg_w:] = block[..., :neg_h, :neg_w]
+    return out
+
+
 def crop_centre(array: np.ndarray, height: int, width: int) -> np.ndarray:
     """Crop the central ``height x width`` window of the last two axes."""
     full_h, full_w = array.shape[-2], array.shape[-1]

@@ -96,18 +96,29 @@ class ProcessWindowSweep:
         from the nominal-focus, nominal-dose resist and then held fixed for
         every other condition, so one feature is followed through the whole
         matrix.
+    fft_backend / fft_workers / precision:
+        Compute policy threaded into every :class:`EngineSpec` the campaign
+        derives — parent engines and sharded workers all image through the
+        same FFT backend at the same precision (``None`` resolves the
+        environment defaults at construction).
     """
 
     def __init__(self, config: OpticsConfig, source: Optional[Source] = None,
                  pupil: Optional[Pupil] = None,
                  executor: Optional[ShardedExecutor] = None,
                  cache_dir: Optional[str] = None,
-                 cd_row: Optional[int] = None):
+                 cd_row: Optional[int] = None,
+                 fft_backend: Optional[str] = None,
+                 fft_workers: Optional[int] = None,
+                 precision: Optional[str] = None):
         self.config = config
         self.executor = executor if executor is not None else \
             ShardedExecutor(num_workers=1, cache_dir=cache_dir)
         self.base_spec = EngineSpec(config=config, source=source, pupil=pupil,
-                                    cache_dir=cache_dir)
+                                    cache_dir=cache_dir,
+                                    fft_backend=fft_backend,
+                                    fft_workers=fft_workers,
+                                    precision=precision)
         self.cd_row = cd_row
 
     # ------------------------------------------------------------------ #

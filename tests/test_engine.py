@@ -113,11 +113,15 @@ class TestBatchedEquivalence:
     def test_chunking_is_invisible(self, fine_engine, random_masks):
         whole = fine_engine.aerial_batch(random_masks)
         r, n, m = fine_engine.kernels.shape
-        tiny_budget = r * (2 * n) * (2 * m)  # forces one mask per chunk
+        itemsize = 16  # complex128
+        tiny_budget = r * (2 * n) * (2 * m) * itemsize  # forces one mask per chunk
         chunked = batched_aerial_from_kernels(random_masks, fine_engine.kernels,
-                                              max_chunk_elements=tiny_budget)
+                                              backend=fine_engine.backend,
+                                              max_chunk_bytes=tiny_budget)
         np.testing.assert_allclose(chunked, whole, rtol=0, atol=0)
-        assert batch_chunk_size(6, r, 2 * n, 2 * m, tiny_budget) == 1
+        assert batch_chunk_size(6, r, 2 * n, 2 * m, tiny_budget, itemsize) == 1
+        # The byte-denominated budget fits twice the masks at single precision.
+        assert batch_chunk_size(6, r, 2 * n, 2 * m, 2 * tiny_budget, 8) == 4
 
     def test_empty_batch(self, fine_engine):
         assert fine_engine.aerial_batch(np.zeros((0, 64, 64))).shape == (0, 64, 64)

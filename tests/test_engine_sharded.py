@@ -78,6 +78,40 @@ class TestEngineSpec:
 
 
 class TestShardedExecutor:
+    @pytest.mark.parametrize("backend_name,precision", [
+        ("numpy", "float64"),
+        ("numpy", "float32"),
+        ("scipy", "float64"),
+        ("scipy", "float32"),
+    ])
+    def test_sharded_equals_serial_under_every_compute_policy(
+            self, masks, tmp_path, backend_name, precision):
+        """The EngineSpec round-trip carries backend + precision: sharded
+        output is bit-for-bit the serial output under every combination."""
+        if backend_name == "scipy":
+            pytest.importorskip("scipy.fft")
+        policy_spec = EngineSpec(config=CONFIG, source=SOURCE,
+                                 fft_backend=backend_name, precision=precision)
+        serial = ShardedExecutor(num_workers=1, cache_dir=str(tmp_path))
+        reference = serial.aerial_batch(policy_spec, masks)
+        with ShardedExecutor(num_workers=2, cache_dir=str(tmp_path)) as sharded:
+            result = sharded.aerial_batch(policy_spec, masks)
+            assert sharded.last_used_pool
+        np.testing.assert_array_equal(result, reference)
+        expected_dtype = np.float32 if precision == "float32" else np.float64
+        assert result.dtype == expected_dtype
+
+    def test_worker_spec_splits_fft_thread_budget(self, spec):
+        executor = ShardedExecutor(num_workers=4)
+        shipped = executor._worker_spec(spec, active_workers=4)
+        assert shipped.fft_workers == max(1, available_workers() // 4)
+        # Small batches activate fewer workers than the pool size: the
+        # budget divides over the shards that actually run.
+        assert executor._worker_spec(spec, active_workers=2).fft_workers == \
+            max(1, available_workers() // 2)
+        pinned = EngineSpec(config=CONFIG, source=SOURCE, fft_workers=2)
+        assert executor._worker_spec(pinned, 4).fft_workers == 2  # explicit wins
+
     def test_sharded_equals_serial_bit_for_bit(self, spec, masks, tmp_path):
         serial = ShardedExecutor(num_workers=1, cache_dir=str(tmp_path))
         reference = serial.aerial_batch(spec, masks)

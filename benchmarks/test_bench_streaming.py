@@ -1,0 +1,145 @@
+"""Micro-benchmark — out-of-core streaming stitch vs the in-memory layout path.
+
+The claim of :mod:`repro.engine.streaming` is *memory*, not speed: the
+in-memory path materialises the full guard-banded tile stack plus the full
+aerial tile stack (O(layout area)), while the streaming path holds one
+bounded tile batch at a time (O(tile-batch)).  This benchmark measures both
+paths' **peak RSS in fresh subprocesses** (`measure_peak_memory`; the OS
+high-water mark is per-process-lifetime, so each candidate gets its own
+interpreter) on a layout at least 4x the engine's chunk budget, and records
+
+* the peak RAM of each path *above* a no-imaging baseline subprocess that
+  builds the same engine and layout (isolating what imaging itself
+  allocates),
+* ``peak_memory_ratio`` — in-memory / streaming peak — asserted ``>= 4`` and
+  gated in CI by ``benchmarks/compare_trajectory.py``, and
+* wall-clock of both paths (streaming should cost little: same FFT work,
+  incremental writes).
+
+Results land in ``benchmarks/results/streaming.{txt,json}``.
+"""
+
+import os
+
+import numpy as np
+
+from repro.analysis.throughput import measure_peak_memory
+from repro.engine import ExecutionEngine, KernelBankCache
+from repro.optics import OpticsConfig
+from repro.optics.source import AnnularSource
+
+TILE = 128
+PIXEL_NM = 4.0
+GUARD = 32
+ORDER = 12
+#: Deliberately small chunk budget (4 MiB) so the benchmark layout is >= 4x
+#: the budget without needing a multi-GiB canvas in CI.
+CHUNK_BYTES = 2 ** 22
+#: (H, W) per preset; the tiny layout is 16 MiB of float64 = 4x the budget,
+#: and its full tile stack is ~64 MiB — what the in-memory path pays twice.
+LAYOUT_SHAPES = {"tiny": (2048, 1024), "small": (4096, 2048),
+                 "default": (4096, 4096)}
+
+
+def _config() -> OpticsConfig:
+    return OpticsConfig(tile_size_px=TILE, pixel_size_nm=PIXEL_NM,
+                        max_socs_order=ORDER)
+
+
+def _build_engine(cache_dir: str) -> ExecutionEngine:
+    return ExecutionEngine.for_optics(
+        _config(), source=AnnularSource(0.5, 0.8),
+        cache=KernelBankCache(cache_dir=cache_dir),
+        max_chunk_bytes=CHUNK_BYTES)
+
+
+def _build_layout(shape) -> np.ndarray:
+    """Deterministic dense line/space pattern (no RNG, no generator cost)."""
+    height, width = shape
+    rows = (np.arange(height) // 8) % 2
+    cols = (np.arange(width) // 12) % 2
+    return (rows[:, None] ^ cols[None, :]).astype(float)
+
+
+# Top-level so measure_peak_memory can ship them to fresh subprocesses.
+def _run_baseline(cache_dir: str, shape) -> None:
+    """Everything but the imaging: engine (disk-cached bank) + layout."""
+    _build_engine(cache_dir)
+    _build_layout(shape)
+
+
+def _run_in_memory(cache_dir: str, shape) -> None:
+    _build_engine(cache_dir).image_layout(_build_layout(shape),
+                                          guard_px=GUARD)
+
+
+def _run_streaming(cache_dir: str, shape) -> None:
+    _build_engine(cache_dir).image_layout(_build_layout(shape),
+                                          guard_px=GUARD, streaming=True)
+
+
+def test_streaming_peak_memory(preset, record_output, record_json, tmp_path):
+    shape = LAYOUT_SHAPES.get(preset, LAYOUT_SHAPES["default"])
+    cache_dir = str(tmp_path / "bank-cache")
+    engine = _build_engine(cache_dir)  # warms the disk cache for the children
+
+    # Correctness stays pinned at bench scale too (cheap, small slice).
+    small = _build_layout((4 * TILE, 2 * TILE))
+    reference = engine.image_layout(small, guard_px=GUARD)
+    streamed = engine.image_layout(small, guard_px=GUARD, streaming=True)
+    np.testing.assert_array_equal(streamed.aerial, reference.aerial)
+
+    baseline = measure_peak_memory(_run_baseline, cache_dir, shape)
+    in_memory = measure_peak_memory(_run_in_memory, cache_dir, shape)
+    streaming = measure_peak_memory(_run_streaming, cache_dir, shape)
+
+    layout_bytes = shape[0] * shape[1] * 8
+    in_memory_delta = max(in_memory.peak_bytes - baseline.peak_bytes, 1)
+    streaming_delta = max(streaming.peak_bytes - baseline.peak_bytes, 1)
+    ratio = in_memory_delta / streaming_delta
+
+    lines = [
+        f"streaming vs in-memory image_layout "
+        f"({shape[0]}x{shape[1]} px, {TILE} px tiles, guard {GUARD} px, "
+        f"chunk budget {CHUNK_BYTES / 2**20:.0f} MiB, "
+        f"layout {layout_bytes / CHUNK_BYTES:.1f}x the budget)",
+        f"  baseline  (no imaging): peak {baseline.peak_mib:8.1f} MiB",
+        f"  in-memory             : peak {in_memory.peak_mib:8.1f} MiB "
+        f"(+{in_memory_delta / 2**20:7.1f} MiB)  {in_memory.elapsed_s:6.2f} s",
+        f"  streaming             : peak {streaming.peak_mib:8.1f} MiB "
+        f"(+{streaming_delta / 2**20:7.1f} MiB)  {streaming.elapsed_s:6.2f} s",
+        f"  peak-memory ratio (in-memory / streaming): {ratio:.2f}x",
+        f"  measured in fresh subprocesses: "
+        f"{in_memory.in_subprocess and streaming.in_subprocess}",
+    ]
+    record_output("streaming", "\n".join(lines))
+    record_json("streaming", {
+        "op": "streaming_image_layout",
+        "shape": list(shape),
+        "tile_px": TILE,
+        "guard_px": GUARD,
+        "chunk_budget_bytes": CHUNK_BYTES,
+        "layout_bytes_over_chunk_budget": layout_bytes / CHUNK_BYTES,
+        "baseline_peak_bytes": baseline.peak_bytes,
+        "in_memory": {"peak_bytes": in_memory.peak_bytes,
+                      "delta_bytes": in_memory_delta,
+                      "elapsed_s": in_memory.elapsed_s},
+        "streaming": {"peak_bytes": streaming.peak_bytes,
+                      "delta_bytes": streaming_delta,
+                      "elapsed_s": streaming.elapsed_s},
+        "peak_memory_ratio": ratio,
+        "in_subprocess": bool(in_memory.in_subprocess
+                              and streaming.in_subprocess),
+        "cpus": os.cpu_count(),
+    })
+
+    # The acceptance floor: streaming images a layout >= 4x the chunk budget
+    # in >= 4x less imaging RAM.  Only meaningful when the subprocess
+    # measurement worked (the in-process fallback measures lifetime
+    # high-water, which the first-run path would dominate).
+    assert layout_bytes >= 4 * CHUNK_BYTES
+    if in_memory.in_subprocess and streaming.in_subprocess:
+        assert ratio >= 4.0, (
+            f"streaming path saved only {ratio:.2f}x peak imaging RAM "
+            f"(floor 4x): in-memory +{in_memory_delta / 2**20:.1f} MiB vs "
+            f"streaming +{streaming_delta / 2**20:.1f} MiB")

@@ -10,10 +10,14 @@ Subcommands cover the typical library workflow without writing any Python:
   report how well a checkpoint reproduces it (sanity check),
 * ``image-layout`` — image an arbitrarily sized layout raster (synthetic or
   loaded from ``.npy``/``.npz``) through the batched, guard-banded tiling
-  engine and save the stitched aerial / resist images,
+  engine and save the stitched aerial / resist images; ``--streaming`` /
+  ``--out DIR`` image out-of-core in bounded-memory batches stitched
+  incrementally into ``.npy`` memmaps,
 * ``sweep-window`` — run a focus x dose process-window qualification campaign
   over an arbitrary layout through the sweep layer, sharded across worker
-  processes, and print the focus-exposure matrix + window summary,
+  processes, and print the focus-exposure matrix + window summary;
+  ``--store DIR`` persists every condition to a resumable campaign store
+  (``--resume`` continues a killed campaign, computing only the remainder),
 * ``experiments``— run every table / figure driver (same as
   ``python -m repro.experiments.runner``).
 
@@ -157,6 +161,10 @@ def command_image_layout(arguments) -> int:
     from .engine import ExecutionEngine
     from .optics.source import make_source
 
+    if not arguments.output and not arguments.out:
+        print("image-layout needs --output (npz) and/or --out (memmap dir)",
+              file=sys.stderr)
+        return 2
     if arguments.input:
         mask = _load_layout_mask(arguments.input)
     else:
@@ -174,19 +182,27 @@ def command_image_layout(arguments) -> int:
 
     start = time.perf_counter()
     result = engine.image_layout(mask, tile_px=arguments.tile_size,
-                                 guard_px=arguments.guard if arguments.guard >= 0 else None)
+                                 guard_px=arguments.guard if arguments.guard >= 0 else None,
+                                 streaming=arguments.streaming,
+                                 out_dir=arguments.out or None)
     elapsed = time.perf_counter() - start
 
     height, width = mask.shape
     area_um2 = height * width * (arguments.pixel_size_nm / 1000.0) ** 2
-    print(f"imaged {height}x{width} px layout "
+    mode = "streamed" if (arguments.streaming or arguments.out) else "imaged"
+    print(f"{mode} {height}x{width} px layout "
           f"({result.num_tiles} tiles of {result.tiling.tile_px} px, "
           f"guard {result.tiling.guard_px} px) in {elapsed:.2f} s "
           f"({area_um2 / max(elapsed, 1e-9):.1f} um^2/s) "
           f"[{engine.backend.name} backend, {engine.precision.name}]")
-    np.savez_compressed(arguments.output, mask=mask, aerial=result.aerial,
-                        resist=result.resist)
-    print(f"stitched aerial / resist written to {arguments.output}")
+    if arguments.out:
+        print(f"aerial / resist memmaps written to {arguments.out}/ "
+              f"(aerial.npy, resist.npy, meta.json)")
+    if arguments.output:
+        np.savez_compressed(arguments.output, mask=mask,
+                            aerial=np.asarray(result.aerial),
+                            resist=np.asarray(result.resist))
+        print(f"stitched aerial / resist written to {arguments.output}")
     return 0
 
 
@@ -264,11 +280,20 @@ def _run_sweep_window(arguments, grid, num_workers: int,
                 np.zeros((executor.num_workers, arguments.tile_size,
                           arguments.tile_size)))
 
+        from .sweep import CampaignIdentityError
+
         start = time.perf_counter()
-        outcome = sweep.run(mask, target_cd_nm=arguments.target_cd or None,
-                            grid=grid, tolerance=arguments.tolerance,
-                            guard_px=arguments.guard if arguments.guard >= 0
-                            else None)
+        try:
+            outcome = sweep.run(mask, target_cd_nm=arguments.target_cd or None,
+                                grid=grid, tolerance=arguments.tolerance,
+                                guard_px=arguments.guard if arguments.guard >= 0
+                                else None,
+                                store=arguments.store or None,
+                                resume=arguments.resume,
+                                streaming=arguments.streaming)
+        except CampaignIdentityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         elapsed = time.perf_counter() - start
 
     height, width = mask.shape
@@ -276,6 +301,10 @@ def _run_sweep_window(arguments, grid, num_workers: int,
           f"{len(grid.focus_values_nm)} focus x {len(grid.dose_values)} dose "
           f"conditions, {outcome.num_tiles} tiles per focus, "
           f"{executor.num_workers} worker(s) -> {elapsed:.2f} s")
+    if outcome.store_dir:
+        print(f"campaign store: {outcome.store_dir} "
+              f"({outcome.computed_conditions} computed, "
+              f"{outcome.skipped_conditions} resumed)")
     print()
     print(outcome.cd_table())
     print()
@@ -389,7 +418,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(handler=command_simulate)
 
     image_layout = subparsers.add_parser(
-        "image-layout", help="image an arbitrary layout via batched guard-banded tiling")
+        "image-layout", help="image an arbitrary layout via batched guard-banded tiling",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  # in-memory imaging, save the stitched result as npz\n"
+               "  repro image-layout --width 1024 --height 768 --output chip.npz\n"
+               "  # out-of-core: stream tile batches, stitch into .npy memmaps\n"
+               "  repro image-layout --streaming --width 8192 --height 8192 \\\n"
+               "      --out chip_dir\n"
+               "  # both: bounded-memory imaging plus an npz copy\n"
+               "  repro image-layout --streaming --out chip_dir --output chip.npz\n")
     _add_common(image_layout)
     image_layout.add_argument("--input", help="load a 2-D layout mask from .npy/.npz "
                                               "instead of synthesizing one")
@@ -405,13 +443,33 @@ def build_parser() -> argparse.ArgumentParser:
     image_layout.add_argument("--source", default="",
                               help="illuminator (circular/annular/dipole/quadrupole); "
                                    "default: the engine's annular source")
-    image_layout.add_argument("--output", required=True, help="output .npz path")
+    image_layout.add_argument("--output", default="",
+                              help="output .npz path (this and/or --out)")
+    image_layout.add_argument("--streaming", action="store_true",
+                              help="generator-fed tiles, bounded-memory batches, "
+                                   "incremental stitch: O(tile-batch) RAM, "
+                                   "bit-for-bit the in-memory result")
+    image_layout.add_argument("--out", default="",
+                              help="stream the stitched aerial/resist into .npy "
+                                   "memmaps under this directory (implies "
+                                   "--streaming; see repro.engine.streaming)")
     _add_compute_options(image_layout)
     image_layout.set_defaults(handler=command_image_layout)
 
     sweep = subparsers.add_parser(
         "sweep-window",
-        help="focus x dose process-window sweep over a layout, sharded across workers")
+        help="focus x dose process-window sweep over a layout, sharded across workers",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  # plain campaign, focus-exposure matrix to stdout + npz\n"
+               "  repro sweep-window --focus=-80,-40,0,40,80 --dose 0.9,1.0,1.1 \\\n"
+               "      --output window.npz\n"
+               "  # disk-backed campaign: every condition persists immediately\n"
+               "  repro sweep-window --store campaign_dir --output window.npz\n"
+               "  # killed mid-campaign?  resume computes only the remainder\n"
+               "  repro sweep-window --store campaign_dir --resume --output window.npz\n"
+               "  # out-of-core imaging for layouts that do not fit in RAM\n"
+               "  repro sweep-window --streaming --store campaign_dir --input huge.npy\n")
     _add_common(sweep)
     sweep.add_argument("--input", help="load a 2-D layout mask from .npy/.npz "
                                        "instead of synthesizing one")
@@ -452,6 +510,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--compare-serial", action="store_true",
                        help="re-run serially and report the sharded speedup "
                             "and output equality")
+    sweep.add_argument("--store", default="",
+                       help="campaign-store directory: per-condition .npz "
+                            "records + a resumable manifest (see "
+                            "repro.sweep.store)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="continue an interrupted campaign in --store, "
+                            "skipping completed conditions (without this "
+                            "flag a non-empty store is refused)")
+    sweep.add_argument("--streaming", action="store_true",
+                       help="image each focus out-of-core (bounded tile "
+                            "batches, incremental stitch)")
     sweep.add_argument("--output", default="",
                        help="optional output .npz for the focus-exposure matrix")
     _add_compute_options(sweep)

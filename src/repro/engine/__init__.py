@@ -13,10 +13,15 @@ throughput benchmarks — runs through this package:
 * :mod:`repro.engine.tiling` — guard-banded splitting / stitching of
   arbitrary ``(H, W)`` layouts,
 * :mod:`repro.engine.execution` — the :class:`ExecutionEngine` facade tying
-  the three together, and
+  the three together,
+* :mod:`repro.engine.streaming` — out-of-core layout imaging: generator-fed
+  tile batches, bounded-memory imaging, incremental stitch into preallocated
+  (optionally memmapped) outputs — bit-for-bit the in-memory result, and
 * :mod:`repro.engine.sharded` — multiprocess sharding of tile batches
   (:class:`ShardedExecutor`), with workers warmed from the disk-backed
-  kernel cache and a deterministic, bit-identical stitch order.
+  kernel cache, a deterministic bit-identical stitch order, and
+  (focus, shard) campaign scheduling over one shared pool
+  (:meth:`ShardedExecutor.campaign_aerials`).
 
 Every FFT and dtype decision is delegated to the compute-backend layer in
 :mod:`repro.backend`: engines accept ``fft_backend`` / ``fft_workers`` /
@@ -30,6 +35,7 @@ from .batched import (
     batch_chunk_size,
     batched_aerial_from_kernels,
     batched_resist_from_kernels,
+    effective_chunk_tiles,
 )
 from .cache import (
     CacheStats,
@@ -40,22 +46,32 @@ from .cache import (
 )
 from .execution import ExecutionEngine, LayoutImage
 from .sharded import EngineSpec, ShardedExecutor, available_workers
+from .streaming import (
+    iter_tile_batches,
+    open_layout_dir,
+    stream_image_layout,
+)
 from .tiling import (
     TilePlacement,
     TilingSpec,
     default_guard_px,
+    extract_tile_batch,
     extract_tiles,
     plan_tiles,
+    stitch_into,
     stitch_tiles,
 )
 
 __all__ = [
     "DEFAULT_MAX_CHUNK_BYTES", "batch_chunk_size",
     "batched_aerial_from_kernels", "batched_resist_from_kernels",
+    "effective_chunk_tiles",
     "CacheStats", "KernelBankCache", "configure_default_cache",
     "default_kernel_cache", "optics_fingerprint",
     "ExecutionEngine", "LayoutImage",
     "EngineSpec", "ShardedExecutor", "available_workers",
+    "iter_tile_batches", "open_layout_dir", "stream_image_layout",
     "TilingSpec", "TilePlacement", "default_guard_px",
-    "plan_tiles", "extract_tiles", "stitch_tiles",
+    "plan_tiles", "extract_tiles", "extract_tile_batch",
+    "stitch_into", "stitch_tiles",
 ]

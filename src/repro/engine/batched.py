@@ -138,6 +138,27 @@ def batch_chunk_size(batch: int, order: int, height: int, width: int,
     return int(np.clip(max_chunk_bytes // per_mask, 1, max(batch, 1)))
 
 
+def effective_chunk_tiles(batch: int, kernel_shape: Tuple[int, int, int],
+                          out_h: int, out_w: int, band_limited: bool = True,
+                          max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
+                          itemsize: int = 16) -> int:
+    """Tiles per chunk :func:`batched_aerial_from_kernels` actually evaluates.
+
+    Bounds BOTH per-chunk intermediates: the ``(chunk, r, work_h, work_w)``
+    kernel-product stack and — on the band-limited fast path — the
+    ``(chunk, out_h, out_w)`` complex upsampling spectra.  The streaming
+    layout path sizes its tile batches with this same arithmetic, so its
+    peak memory is one chunk of the in-memory path, no more.
+    """
+    order, n, m = kernel_shape
+    use_fast = band_limited and 2 * n <= out_h and 2 * m <= out_w
+    work_h, work_w = (2 * n, 2 * m) if use_fast else (out_h, out_w)
+    return min(batch_chunk_size(batch, order, work_h, work_w,
+                                max_chunk_bytes, itemsize),
+               batch_chunk_size(batch, 1, out_h, out_w,
+                                max_chunk_bytes, itemsize))
+
+
 def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
                                 output_shape: Optional[Tuple[int, int]] = None,
                                 band_limited: bool = True,
@@ -187,20 +208,15 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
     order, n, m = kernels.shape
 
     use_fast = band_limited and 2 * n <= out_h and 2 * m <= out_w
-    work_h, work_w = (2 * n, 2 * m) if use_fast else (out_h, out_w)
     evaluate = _band_limited_chunk if use_fast else _direct_chunk
 
     if batch == 0:
         return np.zeros((0, out_h, out_w), dtype=precision.real_dtype)
 
-    # Bound BOTH intermediates: the (chunk, r, work_h, work_w) kernel-product
-    # stack and — on the fast path — the (chunk, out_h, out_w) complex arrays
-    # of the Fourier upsampling step.
-    itemsize = precision.complex_itemsize
-    chunk = min(batch_chunk_size(batch, order, work_h, work_w,
-                                 max_chunk_bytes, itemsize),
-                batch_chunk_size(batch, 1, out_h, out_w,
-                                 max_chunk_bytes, itemsize))
+    chunk = effective_chunk_tiles(batch, kernels.shape, out_h, out_w,
+                                  band_limited=band_limited,
+                                  max_chunk_bytes=max_chunk_bytes,
+                                  itemsize=precision.complex_itemsize)
     if chunk >= batch:
         return evaluate(masks, kernels, out_h, out_w, backend, real_fft)
     pieces = [evaluate(masks[start:start + chunk], kernels, out_h, out_w,

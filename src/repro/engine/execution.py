@@ -33,19 +33,27 @@ from ..optics.resist import ConstantThresholdResist
 from .batched import (
     DEFAULT_MAX_CHUNK_BYTES,
     batched_aerial_from_kernels,
+    effective_chunk_tiles,
 )
 from .cache import KernelBankCache, default_kernel_cache
+from .streaming import stream_image_layout
 from .tiling import TilingSpec, default_guard_px, extract_tiles, stitch_tiles
 
 
 @dataclass(frozen=True)
 class LayoutImage:
-    """Result of imaging a full layout: stitched aerial + resist + provenance."""
+    """Result of imaging a full layout: stitched aerial + resist + provenance.
+
+    ``aerial`` / ``resist`` are plain arrays on the in-memory path and
+    ``numpy.memmap`` views when the layout was streamed into an ``out_dir``
+    (recorded here; ``None`` otherwise).
+    """
 
     aerial: np.ndarray
     resist: np.ndarray
     tiling: TilingSpec
     num_tiles: int
+    out_dir: Optional[str] = None
 
     @property
     def shape(self) -> Tuple[int, int]:
@@ -184,10 +192,42 @@ class ExecutionEngine:
     # ------------------------------------------------------------------ #
     # large layouts
     # ------------------------------------------------------------------ #
+    def resolve_tiling(self, tiling: Optional[TilingSpec],
+                        tile_px: Optional[int],
+                        guard_px: Optional[int]) -> TilingSpec:
+        if tiling is not None:
+            return tiling
+        if tile_px is None:
+            tile_px = self.tile_size_px
+        if tile_px is None:
+            raise ValueError(
+                "engine has no calibrated tile size; pass tile_px or tiling "
+                "matching the size the kernel bank was computed for")
+        if guard_px is None:
+            guard_px = default_guard_px(self.kernel_shape, tile_px)
+        return TilingSpec(tile_px=int(tile_px), guard_px=int(guard_px))
+
+    def stream_batch_tiles(self, tiling: TilingSpec) -> int:
+        """Default tiles-per-batch of the streaming path for this engine.
+
+        Exactly the chunk size :meth:`aerial_batch` would split a large batch
+        into internally (the byte-denominated ``max_chunk_bytes`` budget), so
+        streaming adds no extra chunking and peak RAM is one chunk.
+        """
+        return max(1, effective_chunk_tiles(
+            np.iinfo(np.int32).max, self.kernels.shape,
+            tiling.tile_px, tiling.tile_px,
+            band_limited=self.band_limited,
+            max_chunk_bytes=self.max_chunk_bytes,
+            itemsize=self.precision.complex_itemsize))
+
     def image_layout(self, layout: np.ndarray,
                      tiling: Optional[TilingSpec] = None,
                      tile_px: Optional[int] = None,
-                     guard_px: Optional[int] = None) -> LayoutImage:
+                     guard_px: Optional[int] = None,
+                     streaming: bool = False,
+                     out_dir: Optional[str] = None,
+                     batch_tiles: Optional[int] = None) -> LayoutImage:
         """Image an arbitrary ``(H, W)`` layout by guard-banded tiling.
 
         Parameters
@@ -205,20 +245,34 @@ class ExecutionEngine:
             Guard band per side; defaults to :func:`default_guard_px`
             (one kernel window), the scale over which partially coherent
             cross-talk decays.
+        streaming:
+            Produce tiles from a generator, image in bounded batches and
+            stitch incrementally (:mod:`repro.engine.streaming`): peak RAM
+            is O(one tile batch) instead of O(layout), and the result is
+            bit-for-bit the in-memory result.  Implied by ``out_dir``.
+        out_dir:
+            Stream the stitched aerial / resist into ``.npy`` memmaps under
+            this directory (see the :mod:`repro.engine.streaming` docstring
+            for the layout), so even the output needn't fit in RAM.
+        batch_tiles:
+            Streamed tiles per batch; defaults to :meth:`stream_batch_tiles`
+            (the batched core's own chunk size).
         """
         layout = self.precision.as_real(layout)
         if layout.ndim != 2:
             raise ValueError("layout must be a 2-D image")
-        if tiling is None:
-            if tile_px is None:
-                tile_px = self.tile_size_px
-            if tile_px is None:
-                raise ValueError(
-                    "engine has no calibrated tile size; pass tile_px or tiling "
-                    "matching the size the kernel bank was computed for")
-            if guard_px is None:
-                guard_px = default_guard_px(self.kernel_shape, tile_px)
-            tiling = TilingSpec(tile_px=int(tile_px), guard_px=int(guard_px))
+        tiling = self.resolve_tiling(tiling, tile_px, guard_px)
+
+        if streaming or out_dir is not None or batch_tiles is not None:
+            if batch_tiles is None:
+                batch_tiles = self.stream_batch_tiles(tiling)
+            aerial, resist, num_tiles = stream_image_layout(
+                layout, tiling, self.aerial_batch, self.resist_model.develop,
+                self.precision.real_dtype, batch_tiles, out_dir=out_dir,
+                meta={"backend": self.backend.name,
+                      "precision": self.precision.name})
+            return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,
+                               num_tiles=num_tiles, out_dir=out_dir)
 
         height, width = layout.shape
         tiles, placements = extract_tiles(layout, tiling)

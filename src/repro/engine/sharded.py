@@ -31,10 +31,10 @@ from __future__ import annotations
 import dataclasses
 import os
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,7 +45,8 @@ from ..optics.source import AnnularSource, Source
 from .batched import DEFAULT_MAX_CHUNK_BYTES
 from .cache import KernelBankCache, default_kernel_cache, optics_fingerprint
 from .execution import ExecutionEngine, LayoutImage
-from .tiling import TilingSpec, default_guard_px, extract_tiles, stitch_tiles
+from .streaming import stream_image_layout
+from .tiling import TilingSpec, extract_tiles, stitch_tiles
 
 
 @dataclass(frozen=True)
@@ -352,30 +353,124 @@ class ShardedExecutor:
         return self.warm(spec).resist_model.develop(aerial)
 
     # ------------------------------------------------------------------ #
+    # campaign scheduling: one pool task per (spec, shard)
+    # ------------------------------------------------------------------ #
+    def campaign_aerials(self, specs: Sequence[EngineSpec], masks: np.ndarray,
+                         output_shape: Optional[Tuple[int, int]] = None,
+                         ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Image one mask batch under many specs across ONE shared pool.
+
+        The campaign workload — the same tile batch under ``F`` focus
+        settings — used to parallelise only *within* one spec (at most one
+        shard per worker, workers idle whenever a focus has fewer shards
+        than the pool).  Here every ``(spec, shard)`` pair becomes one pool
+        task submitted up front, so the pool stays saturated across focus
+        boundaries and stragglers of one focus overlap the next.
+
+        Yields ``(spec_index, aerial_batch)`` as each spec *completes*
+        (completion order is scheduling-dependent; the array contents are
+        not: shards are concatenated in submission order, so every yielded
+        batch is bit-for-bit the serial result for that spec).  Yielding per
+        completed spec lets a campaign store persist and drop each focus
+        before the next finishes, keeping memory at O(one focus).
+
+        A broken/unavailable pool — even mid-campaign — degrades to the
+        serial in-process path for every spec not yet yielded, preserving
+        results exactly.  All specs must share one compute policy (the
+        campaign's); the mask batch is cast once to that precision.
+        """
+        specs = [self._resolve_spec(spec) for spec in specs]
+        if not specs:
+            return
+        masks = resolve_precision(specs[0].precision).as_real(masks)
+        if masks.ndim != 3:
+            raise ValueError("masks must have shape (B, H, W)")
+        batch = masks.shape[0]
+        self.last_used_pool = False
+
+        shards = self._shard_slices(batch) if batch else []
+        use_pool = (self.num_workers > 1 and len(specs) > 0
+                    and batch >= 2 * self.min_shard_tiles and len(shards) > 1)
+        self.last_num_shards = len(shards) if use_pool else (1 if batch else 0)
+        done = set()
+        if use_pool:
+            for spec in specs:
+                self.warm(spec)  # persist every bank before any worker asks
+            active = min(self.num_workers, len(shards) * len(specs))
+            try:
+                pool = self._pool_handle()
+                futures = {}
+                for index, spec in enumerate(specs):
+                    worker_spec = self._worker_spec(spec, active)
+                    for shard_index, piece in enumerate(shards):
+                        future = pool.submit(_shard_aerial, worker_spec,
+                                             masks[piece], output_shape)
+                        futures[future] = (index, shard_index)
+                pieces: Dict[int, List[Optional[np.ndarray]]] = {
+                    index: [None] * len(shards) for index in range(len(specs))}
+                for future in as_completed(futures):
+                    index, shard_index = futures[future]
+                    pieces[index][shard_index] = future.result()
+                    if all(piece is not None for piece in pieces[index]):
+                        self.last_used_pool = True
+                        done.add(index)
+                        yield index, np.concatenate(pieces.pop(index), axis=0)
+            except (BrokenProcessPool, OSError, PermissionError):
+                # Mid-campaign pool death is an availability event, never a
+                # correctness one: drop to serial for the unfinished specs.
+                # The diagnostic reads True only when the WHOLE campaign ran
+                # through the pool — a partial run still fell back.
+                self.last_used_pool = False
+                self.close()
+        for index, spec in enumerate(specs):
+            if index not in done:
+                yield index, self.warm(spec).aerial_batch(
+                    masks, output_shape=output_shape)
+
+    # ------------------------------------------------------------------ #
     # sharded layouts
     # ------------------------------------------------------------------ #
     def image_layout(self, spec: EngineSpec, layout: np.ndarray,
                      tiling: Optional[TilingSpec] = None,
                      tile_px: Optional[int] = None,
-                     guard_px: Optional[int] = None) -> LayoutImage:
+                     guard_px: Optional[int] = None,
+                     streaming: bool = False,
+                     out_dir: Optional[str] = None,
+                     batch_tiles: Optional[int] = None) -> LayoutImage:
         """Guard-banded tiling of an ``(H, W)`` layout with sharded tile imaging.
 
         Split and stitch happen in the parent (they are cheap memory moves);
         only the per-tile FFT work is distributed.  Geometry semantics match
-        :meth:`ExecutionEngine.image_layout` exactly.
+        :meth:`ExecutionEngine.image_layout` exactly, including the
+        ``streaming`` / ``out_dir`` out-of-core path: tiles stream through
+        the pool in bounded batches (each batch sharded across the workers)
+        and stitch incrementally into the preallocated output.  The streamed
+        batch defaults to one engine chunk *per worker*, so per-process
+        memory stays at one chunk while every worker has a shard.  Each
+        batch rides :meth:`aerial_batch`, so a pool that breaks mid-stream
+        degrades to serial for the remaining batches instead of raising.
         """
         spec = self._resolve_spec(spec)
         layout = resolve_precision(spec.precision).as_real(layout)
         if layout.ndim != 2:
             raise ValueError("layout must be a 2-D image")
         engine = self.warm(spec)
-        if tiling is None:
-            tile_px = tile_px if tile_px is not None else engine.tile_size_px
-            if tile_px is None:
-                raise ValueError("engine has no calibrated tile size; pass tile_px")
-            if guard_px is None:
-                guard_px = default_guard_px(engine.kernel_shape, tile_px)
-            tiling = TilingSpec(tile_px=int(tile_px), guard_px=int(guard_px))
+        tiling = engine.resolve_tiling(tiling, tile_px, guard_px)
+
+        if streaming or out_dir is not None or batch_tiles is not None:
+            if batch_tiles is None:
+                batch_tiles = engine.stream_batch_tiles(tiling) * \
+                    max(1, self.num_workers)
+            aerial, resist, num_tiles = stream_image_layout(
+                layout, tiling,
+                lambda tiles: self.aerial_batch(spec, tiles),
+                engine.resist_model.develop, engine.precision.real_dtype,
+                batch_tiles, out_dir=out_dir,
+                meta={"backend": engine.backend.name,
+                      "precision": engine.precision.name,
+                      "num_workers": self.num_workers})
+            return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,
+                               num_tiles=num_tiles, out_dir=out_dir)
 
         height, width = layout.shape
         tiles, placements = extract_tiles(layout, tiling)

@@ -1,0 +1,177 @@
+"""Out-of-core layout imaging: generator-fed tiles, bounded batches, memmap stitch.
+
+The in-memory path (:meth:`~repro.engine.execution.ExecutionEngine.image_layout`)
+materialises the full guard-banded tile stack ``(N, tile, tile)``, images it,
+holds the full aerial tile stack, and only then stitches — peak memory grows
+linearly with layout area.  This module is the same pipeline restructured as a
+stream so an arbitrarily large layout images in **O(tile-batch) RAM**:
+
+1. tile *placements* are planned up front (cheap metadata, no pixels),
+2. a generator cuts guard-banded tiles for one bounded batch of placements at
+   a time (:func:`iter_tile_batches`) — the full tile stack never exists,
+3. each batch is imaged through the ordinary batched core (or a sharded
+   executor), and
+4. each batch's interior cores are stitched **incrementally** into a
+   preallocated output — a plain array, or a ``numpy.memmap`` when an
+   ``out_dir`` is given, so even the stitched result needn't fit in RAM.
+
+Bit-for-bit guarantee
+---------------------
+Per-tile FFT work is independent of how the batch axis is chunked (the
+invariant pinned since PR 1 by ``tests/test_engine.py``), every layout pixel
+belongs to exactly one tile core, and the default batch size is exactly the
+chunk size the in-memory path would have used internally
+(:func:`repro.engine.batched.effective_chunk_tiles`).  Streaming therefore
+reproduces the in-memory stitched aerial **bit for bit** across guard bands,
+backends and precisions — pinned by ``tests/test_streaming.py``.
+
+Memmap directory layout (``out_dir``)
+-------------------------------------
+``out_dir/`` holds self-describing ``.npy`` memmaps plus a JSON sidecar:
+
+* ``aerial.npy``  — stitched aerial intensities, shape ``(H, W)``, the
+  engine's real dtype (float64 / float32), written via
+  ``numpy.lib.format.open_memmap`` so ``np.load(..., mmap_mode="r")`` reads
+  it without copying;
+* ``resist.npy``  — developed binary resist, shape ``(H, W)``, uint8;
+* ``meta.json``   — provenance: layout shape, dtypes, tile/guard geometry,
+  tile count and the writing engine's backend/precision names.
+
+The files are preallocated at full size before imaging starts and filled
+core-by-core; :func:`open_layout_dir` reopens a completed directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tiling import (
+    TilePlacement,
+    TilingSpec,
+    extract_tile_batch,
+    plan_tiles,
+    stitch_into,
+)
+
+AERIAL_FILE = "aerial.npy"
+RESIST_FILE = "resist.npy"
+META_FILE = "meta.json"
+
+
+def iter_tile_batches(layout: np.ndarray,
+                      placements: Sequence[TilePlacement],
+                      spec: TilingSpec, batch_tiles: int,
+                      ) -> Iterator[Tuple[np.ndarray, List[TilePlacement]]]:
+    """Yield ``(tiles, placements)`` batches of at most ``batch_tiles`` tiles.
+
+    Tiles are cut lazily per batch, so only ``batch_tiles`` guard-banded
+    tiles are ever resident; ``layout`` may itself be a ``numpy.memmap``.
+    """
+    if batch_tiles < 1:
+        raise ValueError("batch_tiles must be at least 1")
+    for start in range(0, len(placements), batch_tiles):
+        subset = list(placements[start:start + batch_tiles])
+        yield extract_tile_batch(layout, subset, spec), subset
+
+
+def _preallocate(out_dir: Optional[str], name: str, shape: Tuple[int, int],
+                 dtype) -> np.ndarray:
+    """A zeroed ``(H, W)`` output: in-memory, or a ``.npy`` memmap under ``out_dir``."""
+    if out_dir is None:
+        return np.zeros(shape, dtype=dtype)
+    os.makedirs(out_dir, exist_ok=True)
+    out = np.lib.format.open_memmap(os.path.join(out_dir, name), mode="w+",
+                                    dtype=np.dtype(dtype), shape=shape)
+    return out
+
+
+def stream_image_layout(layout: np.ndarray, tiling: TilingSpec,
+                        image_batch: Callable[[np.ndarray], np.ndarray],
+                        develop: Callable[[np.ndarray], np.ndarray],
+                        real_dtype, batch_tiles: int,
+                        out_dir: Optional[str] = None,
+                        meta: Optional[dict] = None,
+                        ) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Image a layout tile-stream into preallocated aerial / resist rasters.
+
+    Parameters
+    ----------
+    image_batch:
+        ``(B, tile, tile) -> (B, tile, tile)`` aerial imaging of one bounded
+        batch — an engine's ``aerial_batch`` or a sharded executor's.
+    develop:
+        Elementwise resist development applied to each stitched core (the
+        constant-threshold model; elementwise, so per-batch application
+        equals whole-raster application exactly).
+    batch_tiles:
+        Tiles per streamed batch; peak RAM is O(this batch), independent of
+        the layout size.
+    out_dir:
+        When given, aerial / resist become disk-backed memmaps in the
+        documented directory layout and ``meta.json`` is written on success.
+
+    Returns ``(aerial, resist, num_tiles)``; the arrays are memmaps when
+    ``out_dir`` was given (flushed before returning).
+    """
+    layout = np.asarray(layout)
+    if layout.ndim != 2:
+        raise ValueError("layout must be a 2-D image")
+    height, width = layout.shape
+    placements = plan_tiles(height, width, tiling)
+
+    aerial = _preallocate(out_dir, AERIAL_FILE, (height, width), real_dtype)
+    resist = _preallocate(out_dir, RESIST_FILE, (height, width), np.uint8)
+
+    guard = tiling.guard_px
+    for tiles, subset in iter_tile_batches(layout, placements, tiling,
+                                           batch_tiles):
+        aerial_tiles = image_batch(tiles)
+        stitch_into(aerial, aerial_tiles, subset, tiling)
+        # Development is elementwise, so the resist can be streamed from the
+        # just-written aerial cores without ever thresholding the full raster.
+        for image, place in zip(aerial_tiles, subset):
+            core = image[guard:guard + place.core_h,
+                         guard:guard + place.core_w]
+            resist[place.row:place.row + place.core_h,
+                   place.col:place.col + place.core_w] = develop(core)
+
+    if out_dir is not None:
+        aerial.flush()
+        resist.flush()
+        payload = {
+            "shape": [int(height), int(width)],
+            "aerial_dtype": str(np.dtype(real_dtype)),
+            "resist_dtype": "uint8",
+            "tile_px": int(tiling.tile_px),
+            "guard_px": int(tiling.guard_px),
+            "num_tiles": len(placements),
+        }
+        payload.update(meta or {})
+        with open(os.path.join(out_dir, META_FILE), "w",
+                  encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    return aerial, resist, len(placements)
+
+
+def open_layout_dir(out_dir: str, mmap_mode: str = "r",
+                    ) -> Tuple[np.ndarray, np.ndarray, dict]:
+    """Reopen a streamed layout directory as ``(aerial, resist, meta)``.
+
+    Arrays come back as read-only memmaps (``mmap_mode="r"``), so inspecting
+    a huge streamed result costs no RAM beyond the pages actually touched.
+    """
+    meta_path = os.path.join(out_dir, META_FILE)
+    if not os.path.exists(meta_path):
+        raise FileNotFoundError(
+            f"{out_dir} is not a completed streamed-layout directory "
+            f"(missing {META_FILE})")
+    with open(meta_path, "r", encoding="utf-8") as handle:
+        meta = json.load(handle)
+    aerial = np.load(os.path.join(out_dir, AERIAL_FILE), mmap_mode=mmap_mode)
+    resist = np.load(os.path.join(out_dir, RESIST_FILE), mmap_mode=mmap_mode)
+    return aerial, resist, meta

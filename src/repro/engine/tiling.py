@@ -86,12 +86,15 @@ def plan_tiles(height: int, width: int, spec: TilingSpec) -> List[TilePlacement]
     return placements
 
 
-def extract_tiles(layout: np.ndarray, spec: TilingSpec,
-                  ) -> Tuple[np.ndarray, List[TilePlacement]]:
-    """Cut a layout into guard-banded tiles ``(N, tile_px, tile_px)``.
+def extract_tile_batch(layout: np.ndarray, placements: Sequence[TilePlacement],
+                       spec: TilingSpec) -> np.ndarray:
+    """Cut the guard-banded tiles of a subset of placements from a layout.
 
-    Each tile window extends ``guard_px`` pixels beyond its core on every
-    side; content beyond the layout boundary is zero (an empty reticle).
+    The streaming path calls this once per bounded batch of placements, so a
+    full tile stack for the layout is never materialised; ``extract_tiles``
+    is the all-placements special case.  ``layout`` may be any 2-D array-like
+    including a ``numpy.memmap`` — only the windows actually read are paged
+    in.  Content beyond the layout boundary is zero (an empty reticle).
     """
     layout = np.asarray(layout)
     if not np.issubdtype(layout.dtype, np.floating):
@@ -99,7 +102,6 @@ def extract_tiles(layout: np.ndarray, spec: TilingSpec,
     if layout.ndim != 2:
         raise ValueError("layout must be a 2-D image")
     height, width = layout.shape
-    placements = plan_tiles(height, width, spec)
     tile = spec.tile_px
     guard = spec.guard_px
 
@@ -116,7 +118,44 @@ def extract_tiles(layout: np.ndarray, spec: TilingSpec,
               dst_top:dst_top + (src_bottom - src_top),
               dst_left:dst_left + (src_right - src_left)] = (
             layout[src_top:src_bottom, src_left:src_right])
-    return tiles, placements
+    return tiles
+
+
+def extract_tiles(layout: np.ndarray, spec: TilingSpec,
+                  ) -> Tuple[np.ndarray, List[TilePlacement]]:
+    """Cut a layout into guard-banded tiles ``(N, tile_px, tile_px)``.
+
+    Each tile window extends ``guard_px`` pixels beyond its core on every
+    side; content beyond the layout boundary is zero (an empty reticle).
+    """
+    layout = np.asarray(layout)
+    if layout.ndim != 2:
+        raise ValueError("layout must be a 2-D image")
+    placements = plan_tiles(layout.shape[0], layout.shape[1], spec)
+    return extract_tile_batch(layout, placements, spec), placements
+
+
+def stitch_into(out: np.ndarray, tile_images: np.ndarray,
+                placements: Sequence[TilePlacement], spec: TilingSpec) -> None:
+    """Write each tile's interior core into ``out`` at its placement.
+
+    ``out`` is any preallocated ``(H, W)`` array — an in-memory buffer or a
+    ``numpy.memmap`` — so the streaming path can stitch one bounded batch at
+    a time without holding the assembled raster and the tile stack together.
+    Every layout pixel belongs to exactly one core, so repeated calls over
+    disjoint placement batches write each output pixel exactly once.
+    """
+    tile_images = np.asarray(tile_images)
+    if tile_images.ndim != 3:
+        raise ValueError("tile_images must have shape (N, tile_px, tile_px)")
+    if len(tile_images) != len(placements):
+        raise ValueError(
+            f"{len(tile_images)} tile images for {len(placements)} placements")
+    guard = spec.guard_px
+    for image, place in zip(tile_images, placements):
+        out[place.row:place.row + place.core_h,
+            place.col:place.col + place.core_w] = (
+            image[guard:guard + place.core_h, guard:guard + place.core_w])
 
 
 def stitch_tiles(tile_images: np.ndarray, placements: Sequence[TilePlacement],
@@ -125,13 +164,6 @@ def stitch_tiles(tile_images: np.ndarray, placements: Sequence[TilePlacement],
     tile_images = np.asarray(tile_images)
     if tile_images.ndim != 3:
         raise ValueError("tile_images must have shape (N, tile_px, tile_px)")
-    if len(tile_images) != len(placements):
-        raise ValueError(
-            f"{len(tile_images)} tile images for {len(placements)} placements")
-    guard = spec.guard_px
     out = np.zeros((height, width), dtype=tile_images.dtype)
-    for image, place in zip(tile_images, placements):
-        out[place.row:place.row + place.core_h,
-            place.col:place.col + place.core_w] = (
-            image[guard:guard + place.core_h, guard:guard + place.core_w])
+    stitch_into(out, tile_images, placements, spec)
     return out

@@ -18,5 +18,8 @@ production lithography service — and this layer:
 
 from .grid import FocusExposureGrid
 from .process_window import ProcessWindowSweep, SweepOutcome
+from .store import CampaignIdentityError, CampaignStore, condition_id, layout_digest
 
-__all__ = ["FocusExposureGrid", "ProcessWindowSweep", "SweepOutcome"]
+__all__ = ["FocusExposureGrid", "ProcessWindowSweep", "SweepOutcome",
+           "CampaignStore", "CampaignIdentityError", "condition_id",
+           "layout_digest"]

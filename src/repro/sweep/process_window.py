@@ -8,17 +8,33 @@ process), images the layout once through the batched/sharded engine, then
 develops every dose from that single aerial (dose only scales the resist
 threshold).  An ``F x D`` campaign therefore costs ``F`` kernel banks and
 ``F`` imaging passes, not ``F x D`` of each.
+
+Campaign-scale features (PR 4):
+
+* **(focus, shard) scheduling** — the pending focus settings are imaged
+  through :meth:`ShardedExecutor.campaign_aerials`, one pool task per
+  (focus, shard) over ONE shared pool, so workers never idle at focus
+  boundaries; each focus's CDs are extracted (and persisted) as it
+  completes, holding at most one stitched aerial at a time.
+* **Disk-backed resumability** — pass ``store=`` (a
+  :class:`~repro.sweep.store.CampaignStore` or a directory path) and every
+  completed condition is persisted immediately; a killed campaign re-run
+  against the same store computes exactly the remaining conditions.
+* **Out-of-core imaging** — ``streaming=True`` routes each focus through the
+  generator-fed streaming stitch (:mod:`repro.engine.streaming`), bounding
+  peak RAM at one tile batch regardless of layout size.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..engine.sharded import EngineSpec, ShardedExecutor
+from ..engine.tiling import extract_tiles, stitch_tiles
 from ..optics.process_window import (
     FocusExposurePoint,
     ProcessWindowResult,
@@ -29,11 +45,17 @@ from ..optics.pupil import Pupil
 from ..optics.simulator import OpticsConfig
 from ..optics.source import Source
 from .grid import FocusExposureGrid
+from .store import CampaignStore
 
 
 @dataclass(frozen=True)
 class SweepOutcome:
-    """A completed sweep: the process window plus campaign provenance."""
+    """A completed sweep: the process window plus campaign provenance.
+
+    ``computed_conditions`` / ``skipped_conditions`` split the grid into
+    conditions imaged by *this* run and conditions served from a resumed
+    :class:`~repro.sweep.store.CampaignStore` (always 0 without a store).
+    """
 
     window: ProcessWindowResult
     grid: FocusExposureGrid
@@ -41,6 +63,9 @@ class SweepOutcome:
     num_workers: int
     elapsed_s: float
     aerials: Optional[Dict[float, np.ndarray]] = None
+    computed_conditions: int = 0
+    skipped_conditions: int = 0
+    store_dir: Optional[str] = None
 
     def cd_table(self) -> str:
         """The focus-exposure matrix as a fixed-width text table (CDs in nm)."""
@@ -135,10 +160,51 @@ class ProcessWindowSweep:
     # ------------------------------------------------------------------ #
     # the campaign
     # ------------------------------------------------------------------ #
+    def _iter_focus_aerials(self, foci: Sequence[float], layout: np.ndarray,
+                            tile_px: Optional[int], guard_px: Optional[int],
+                            single_tile: bool, streaming: bool,
+                            ) -> Iterator[Tuple[float, np.ndarray, int]]:
+        """Yield ``(focus, stitched aerial, num_tiles)`` per pending focus.
+
+        The multi-tile in-memory path schedules one pool task per
+        (focus, shard) over the executor's shared pool and yields each focus
+        as it completes (contents deterministic); the streaming path images
+        focus-by-focus in bounded batches instead, trading cross-focus
+        overlap for O(tile-batch) RAM.
+        """
+        if not foci:
+            return
+        if single_tile:
+            specs = [self.spec_for_focus(focus) for focus in foci]
+            for index, batch in self.executor.campaign_aerials(specs,
+                                                              layout[None]):
+                yield foci[index], batch[0], 1
+        elif streaming:
+            for focus in foci:
+                imaged = self.executor.image_layout(
+                    self.spec_for_focus(focus), layout, tile_px=tile_px,
+                    guard_px=guard_px, streaming=True)
+                yield focus, imaged.aerial, imaged.num_tiles
+        else:
+            engine = self.executor.warm(self.spec_for_focus(foci[0]))
+            tiling = engine.resolve_tiling(None, tile_px, guard_px)
+            height, width = layout.shape
+            tiles, placements = extract_tiles(layout, tiling)
+            specs = [self.spec_for_focus(focus) for focus in foci]
+            for index, aerial_tiles in self.executor.campaign_aerials(specs,
+                                                                      tiles):
+                aerial = stitch_tiles(aerial_tiles, placements, height,
+                                      width, tiling)
+                yield foci[index], aerial, len(placements)
+
     def run(self, layout: np.ndarray, target_cd_nm: Optional[float] = None,
             grid: Optional[FocusExposureGrid] = None, tolerance: float = 0.1,
             tile_px: Optional[int] = None, guard_px: Optional[int] = None,
-            keep_aerials: bool = False) -> SweepOutcome:
+            keep_aerials: bool = False,
+            store: Optional[Union[CampaignStore, str]] = None,
+            resume: bool = True, streaming: bool = False,
+            progress: Optional[Callable[[float, float, float], None]] = None,
+            ) -> SweepOutcome:
         """Image the layout through the whole focus-exposure matrix.
 
         Parameters
@@ -152,6 +218,27 @@ class ProcessWindowSweep:
             Nominal CD the window is judged against.  ``None`` measures it
             from the grid's nominal (focus closest to 0, dose closest to 1)
             condition.
+        store:
+            A :class:`~repro.sweep.store.CampaignStore` (or a directory
+            path): every completed condition persists immediately, and with
+            ``resume=True`` conditions already completed by an earlier —
+            possibly killed — run of the *same* campaign are served from
+            disk instead of recomputed.  The auto-tracked CD row and the
+            auto-measured target CD are pinned in the store's manifest so a
+            resumed run measures exactly what the first run did.
+        resume:
+            Honour a pre-existing manifest in ``store`` (the default).
+            ``False`` refuses to touch a non-empty store, preventing two
+            different campaigns from silently interleaving records.
+        streaming:
+            Image each focus out-of-core (bounded tile batches, incremental
+            stitch) instead of materialising the full tile stack; see
+            :mod:`repro.engine.streaming`.  Results are bit-for-bit
+            identical either way.
+        progress:
+            ``progress(focus_nm, dose, cd_nm)`` after every *computed*
+            condition — already persisted when a store is attached, so an
+            exception raised here (or a kill) loses nothing.
         """
         layout = np.asarray(layout, dtype=float)
         if layout.ndim != 2:
@@ -161,49 +248,98 @@ class ProcessWindowSweep:
         if not 0.0 < tolerance < 1.0:
             raise ValueError("tolerance must be in (0, 1)")
         grid = grid if grid is not None else FocusExposureGrid()
+        if isinstance(store, str):
+            store = CampaignStore(store)
 
         tile = self.config.tile_size_px
         single_tile = layout.shape == (tile, tile)
 
         start = time.perf_counter()
-        num_tiles = 1
+        state = {"num_tiles": 1, "cd_row": self.cd_row, "computed": 0}
         cds: Dict[Tuple[float, float], float] = {}
         aerials: Dict[float, np.ndarray] = {}
-        # The nominal focus is imaged first: when no cd_row was pinned, the
-        # widest feature printed at the nominal condition fixes the row every
-        # other condition is measured on (tracking one feature through focus).
-        cd_row = self.cd_row
-        nominal = grid.nominal_focus_nm
-        focus_order = [nominal] + [f for f in grid.focus_values_nm if f != nominal]
-        for focus in focus_order:
-            spec = self.spec_for_focus(focus)
-            if single_tile:
-                aerial = self.executor.aerial_batch(spec, layout[None])[0]
-            else:
-                imaged = self.executor.image_layout(spec, layout,
-                                                    tile_px=tile_px,
-                                                    guard_px=guard_px)
-                aerial = imaged.aerial
-                num_tiles = imaged.num_tiles
+
+        if store is not None:
+            identity, _ = CampaignStore.campaign_identity(
+                layout, grid.focus_values_nm, grid.dose_values, tolerance,
+                self.base_spec.fingerprint(), tile_px=tile_px,
+                guard_px=guard_px)
+            for entry in store.begin(identity, resume=resume).values():
+                cds[(entry["focus_nm"], entry["dose"])] = entry["cd_nm"]
+            if state["cd_row"] is None:
+                state["cd_row"] = store.get_derived("cd_row")
+            if store.get_derived("num_tiles") is not None:
+                # Provenance survives a full resume (no focus re-imaged).
+                state["num_tiles"] = int(store.get_derived("num_tiles"))
+
+        def handle_focus(focus: float, aerial: np.ndarray,
+                         num_tiles: int) -> None:
+            state["num_tiles"] = num_tiles
             if keep_aerials:
                 aerials[focus] = aerial
-            if cd_row is None:
-                nominal_threshold = self.config.resist_threshold / grid.nominal_dose
-                cd_row = widest_feature_row(aerial > nominal_threshold)
+            if store is not None:
+                store.set_derived("num_tiles", int(num_tiles))
+                store.save_aerial(focus, aerial)
+            if state["cd_row"] is None:
+                # The widest feature printed at the nominal condition fixes
+                # the row every condition is measured on (one feature tracked
+                # through the whole matrix) — and is pinned in the store so
+                # resumed runs keep measuring the same feature.
+                nominal_threshold = (self.config.resist_threshold
+                                     / grid.nominal_dose)
+                state["cd_row"] = int(widest_feature_row(
+                    aerial > nominal_threshold))
+                if store is not None:
+                    store.set_derived("cd_row", state["cd_row"])
             for dose in grid.dose_values:
+                if (focus, dose) in cds:
+                    continue
                 threshold = self.config.resist_threshold / dose
                 resist = (aerial > threshold).astype(np.uint8)
-                cds[(focus, dose)] = measure_cd(
-                    resist, row=cd_row,
-                    pixel_size_nm=self.config.pixel_size_nm)
+                cd = measure_cd(resist, row=state["cd_row"],
+                                pixel_size_nm=self.config.pixel_size_nm)
+                cds[(focus, dose)] = cd
+                state["computed"] += 1
+                if store is not None:
+                    store.record(focus, dose, cd, threshold)
+                if progress is not None:
+                    progress(focus, dose, cd)
+
+        nominal = grid.nominal_focus_nm
+        pending = [focus for focus in grid.focus_values_nm
+                   if any((focus, dose) not in cds
+                          for dose in grid.dose_values)]
+        skipped = len(grid) - sum(
+            sum((focus, dose) not in cds for dose in grid.dose_values)
+            for focus in pending)
+        if state["cd_row"] is None:
+            # The nominal focus must complete first — it defines the tracked
+            # row.  It is imaged even when all its doses were resumed (only
+            # possible when a pinned cd_row went missing from the store).
+            for item in self._iter_focus_aerials(
+                    [nominal], layout, tile_px, guard_px, single_tile,
+                    streaming):
+                handle_focus(*item)
+            pending = [focus for focus in pending if focus != nominal]
+        else:
+            pending = [nominal] * (nominal in pending) + \
+                [focus for focus in pending if focus != nominal]
+        for item in self._iter_focus_aerials(pending, layout, tile_px,
+                                             guard_px, single_tile,
+                                             streaming):
+            handle_focus(*item)
         elapsed = time.perf_counter() - start
 
+        if target_cd_nm is None and store is not None:
+            target_cd_nm = store.get_derived("target_cd_nm")
         if target_cd_nm is None:
             target_cd_nm = cds[(grid.nominal_focus_nm, grid.nominal_dose)]
             if target_cd_nm <= 0:
                 raise ValueError(
                     "nothing prints at the nominal condition; pass an "
                     "explicit target_cd_nm")
+            if store is not None:
+                store.set_derived("target_cd_nm", float(target_cd_nm))
 
         points: List[FocusExposurePoint] = [
             FocusExposurePoint(focus_nm=focus, dose=dose, cd_nm=cds[(focus, dose)])
@@ -211,7 +347,11 @@ class ProcessWindowSweep:
         window = ProcessWindowResult(points=tuple(points),
                                      target_cd_nm=float(target_cd_nm),
                                      tolerance=float(tolerance))
-        return SweepOutcome(window=window, grid=grid, num_tiles=num_tiles,
+        return SweepOutcome(window=window, grid=grid,
+                            num_tiles=state["num_tiles"],
                             num_workers=self.executor.num_workers,
                             elapsed_s=elapsed,
-                            aerials=aerials if keep_aerials else None)
+                            aerials=aerials if keep_aerials else None,
+                            computed_conditions=state["computed"],
+                            skipped_conditions=skipped,
+                            store_dir=store.root if store is not None else None)

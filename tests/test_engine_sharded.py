@@ -196,6 +196,151 @@ class TestShardedExecutor:
         assert available_workers() >= 1
 
 
+class _FlakyPool:
+    """A stand-in pool: serves the first ``healthy`` submits in-process,
+    then raises ``BrokenProcessPool`` — a deterministic mid-campaign death."""
+
+    def __init__(self, healthy: int):
+        self.healthy = healthy
+        self.submits = 0
+
+    def submit(self, fn, *args, **kwargs):
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        self.submits += 1
+        future = Future()
+        if self.submits <= self.healthy:
+            future.set_result(fn(*args, **kwargs))
+        else:
+            future.set_exception(BrokenProcessPool("pool died mid-campaign"))
+        return future
+
+    def shutdown(self, *args, **kwargs):
+        pass
+
+
+class TestCampaignScheduling:
+    """(focus, shard) work units over one shared pool — and its fallbacks."""
+
+    def _specs(self, spec):
+        return [spec.with_focus(focus) for focus in (0.0, 60.0, 120.0)]
+
+    def _serial_reference(self, specs, masks, tmp_path):
+        executor = ShardedExecutor(num_workers=1, cache_dir=str(tmp_path))
+        return [executor.warm(spec).aerial_batch(masks) for spec in specs]
+
+    def test_campaign_matches_serial_bit_for_bit(self, spec, masks, tmp_path):
+        specs = self._specs(spec)
+        reference = self._serial_reference(specs, masks, tmp_path)
+        with ShardedExecutor(num_workers=2, cache_dir=str(tmp_path)) as ex:
+            results = dict(ex.campaign_aerials(specs, masks))
+            assert ex.last_used_pool
+        assert set(results) == {0, 1, 2}
+        for index, expected in enumerate(reference):
+            np.testing.assert_array_equal(results[index], expected)
+
+    def test_campaign_serial_executor_yields_in_order(self, spec, masks,
+                                                      tmp_path):
+        specs = self._specs(spec)
+        reference = self._serial_reference(specs, masks, tmp_path)
+        executor = ShardedExecutor(num_workers=1, cache_dir=str(tmp_path))
+        indices = []
+        for index, aerial in executor.campaign_aerials(specs, masks):
+            indices.append(index)
+            np.testing.assert_array_equal(aerial, reference[index])
+        assert indices == [0, 1, 2]
+        assert not executor.last_used_pool
+
+    def test_campaign_empty_specs(self, spec, masks):
+        executor = ShardedExecutor(num_workers=2)
+        assert list(executor.campaign_aerials([], masks)) == []
+
+    def test_broken_pool_mid_campaign_degrades_to_serial(self, spec, masks,
+                                                         tmp_path):
+        """The pool dies after the first focus: remaining foci must be
+        computed serially with identical results — not raise."""
+        specs = self._specs(spec)
+        reference = self._serial_reference(specs, masks, tmp_path)
+        executor = ShardedExecutor(num_workers=2, cache_dir=str(tmp_path))
+        shards = len(executor._shard_slices(masks.shape[0]))
+        executor._pool = _FlakyPool(healthy=shards)  # focus 0 succeeds
+        results = dict(executor.campaign_aerials(specs, masks))
+        assert executor._pool is None  # close() ran on the broken pool
+        assert set(results) == {0, 1, 2}
+        for index, expected in enumerate(reference):
+            np.testing.assert_array_equal(results[index], expected)
+        executor.close()  # idempotent after the fallback
+
+    def test_pool_broken_from_the_start_degrades_to_serial(self, spec, masks,
+                                                           tmp_path):
+        specs = self._specs(spec)
+        reference = self._serial_reference(specs, masks, tmp_path)
+        executor = ShardedExecutor(num_workers=2, cache_dir=str(tmp_path))
+        executor._pool = _FlakyPool(healthy=0)
+        results = dict(executor.campaign_aerials(specs, masks))
+        for index, expected in enumerate(reference):
+            np.testing.assert_array_equal(results[index], expected)
+        assert not executor.last_used_pool
+
+
+class TestStreamingThroughExecutor:
+    def test_streaming_layout_matches_serial_engine(self, spec, tmp_path):
+        layout = (np.random.default_rng(7).random((70, 90)) > 0.75).astype(float)
+        reference = spec.build(cache=KernelBankCache()).image_layout(
+            layout, guard_px=8)
+        with ShardedExecutor(num_workers=2, cache_dir=str(tmp_path)) as ex:
+            streamed = ex.image_layout(spec, layout, guard_px=8,
+                                       streaming=True, batch_tiles=3)
+        np.testing.assert_array_equal(streamed.aerial, reference.aerial)
+        np.testing.assert_array_equal(streamed.resist, reference.resist)
+
+    def test_streaming_out_dir_through_executor(self, spec, tmp_path):
+        layout = (np.random.default_rng(9).random((50, 66)) > 0.75).astype(float)
+        out_dir = str(tmp_path / "streamed")
+        with ShardedExecutor(num_workers=1, cache_dir=str(tmp_path)) as ex:
+            result = ex.image_layout(spec, layout, guard_px=6,
+                                     out_dir=out_dir)
+        reference = spec.build(cache=KernelBankCache()).image_layout(
+            layout, guard_px=6)
+        assert isinstance(result.aerial, np.memmap)
+        np.testing.assert_array_equal(np.asarray(result.aerial),
+                                      reference.aerial)
+
+    def test_streaming_survives_broken_pool_every_batch(self, spec, tmp_path,
+                                                        monkeypatch):
+        """Serial fallback + close() exercised *under the streaming path*:
+        every batch's pool attempt fails, every batch must fall back."""
+        layout = (np.random.default_rng(3).random((70, 90)) > 0.75).astype(float)
+        reference = spec.build(cache=KernelBankCache()).image_layout(
+            layout, guard_px=8)
+        executor = ShardedExecutor(num_workers=2, cache_dir=str(tmp_path))
+
+        def poisoned_pool():
+            raise OSError("subprocesses forbidden")
+
+        monkeypatch.setattr(executor, "_pool_handle", poisoned_pool)
+        streamed = executor.image_layout(spec, layout, guard_px=8,
+                                         streaming=True, batch_tiles=3)
+        assert not executor.last_used_pool
+        np.testing.assert_array_equal(streamed.aerial, reference.aerial)
+        np.testing.assert_array_equal(streamed.resist, reference.resist)
+        executor.close()
+
+    def test_streaming_pool_dies_mid_stream(self, spec, tmp_path):
+        """First streamed batch shards through the pool, then the pool dies:
+        the remaining batches degrade to serial, output bit-identical."""
+        layout = (np.random.default_rng(5).random((70, 90)) > 0.75).astype(float)
+        reference = spec.build(cache=KernelBankCache()).image_layout(
+            layout, guard_px=8)
+        executor = ShardedExecutor(num_workers=2, cache_dir=str(tmp_path))
+        executor._pool = _FlakyPool(healthy=2)  # one sharded batch succeeds
+        streamed = executor.image_layout(spec, layout, guard_px=8,
+                                         streaming=True, batch_tiles=4)
+        np.testing.assert_array_equal(streamed.aerial, reference.aerial)
+        executor.close()
+
+
 class TestCacheWarmAcrossProcesses:
     """The sharded executor's enabling mechanism: banks persist across processes."""
 

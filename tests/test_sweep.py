@@ -200,6 +200,40 @@ class TestSweepWindowCLI:
         with pytest.raises(SystemExit):  # all-separator input is not a list
             main(["sweep-window", "--focus", ",", "--output", "x.npz"])
 
+    def test_sweep_window_store_and_resume(self, tmp_path, capsys):
+        """A store-backed CLI campaign resumes computing nothing."""
+        from repro.cli import main
+
+        store = str(tmp_path / "campaign")
+        base_args = ["sweep-window", "--width", "96", "--height", "80",
+                     "--tile-size", "48", "--pixel-size-nm", "8",
+                     "--focus=-60,0,60", "--dose", "0.9,1.0,1.1",
+                     "--workers", "1", "--tolerance", "0.3",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--store", store]
+        assert main(base_args) == 0
+        first = capsys.readouterr().out
+        assert "9 computed, 0 resumed" in first
+
+        # Without --resume a non-empty store is refused...
+        assert main(base_args) == 2
+        assert "resume" in capsys.readouterr().err
+        # ...with it, every condition is served from disk.
+        assert main(base_args + ["--resume"]) == 0
+        second = capsys.readouterr().out
+        assert "0 computed, 9 resumed" in second
+        assert first.splitlines()[-1] == second.splitlines()[-1]  # same window
+
+    def test_sweep_window_streaming_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["sweep-window", "--width", "96", "--height", "80",
+                     "--tile-size", "48", "--pixel-size-nm", "8",
+                     "--focus", "0", "--dose", "1.0", "--workers", "1",
+                     "--tolerance", "0.3", "--streaming",
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "process window" in capsys.readouterr().out
+
     def test_sweep_window_accepts_space_separated_negative_focus(self):
         """`--focus -80,-40,0` must parse without the `=` workaround."""
         from repro.cli import build_parser

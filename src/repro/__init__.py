@@ -7,9 +7,18 @@ Subpackages
     Complex-valued autograd substrate (layers, optimizers) replacing PyTorch.
 ``repro.optics``
     Hopkins / TCC / SOCS partially-coherent imaging (golden simulator).
+``repro.backend``
+    Compute-backend seam: FFT implementation registry and precision policy.
 ``repro.engine``
     Unified execution layer: vectorised batched imaging, the process-wide
-    kernel-bank cache and guard-banded large-layout tiling.
+    kernel-bank cache, guard-banded large-layout tiling, out-of-core
+    streaming and multiprocess sharding.
+``repro.layout``
+    Windowed layout readers: rasterise arbitrary windows of dense rasters
+    or bucket-grid indexed geometry (JSON / GDSII-text files) on demand.
+``repro.sweep``
+    Process-window qualification campaigns: focus x dose grids, resumable
+    campaign stores and zero-recompute campaign reports.
 ``repro.masks``
     Synthetic benchmark layouts, OPC and dataset assembly.
 ``repro.core``

@@ -17,14 +17,21 @@ owns two orthogonal policies that the whole engine stack
 
 Usage
 -----
+>>> import numpy as np
 >>> from repro.backend import get_backend, resolve_precision
->>> backend = get_backend()                  # env/auto-selected
->>> spectrum = backend.rfft2(mask, norm="ortho")   # half-spectrum, real input
+>>> backend = get_backend("numpy")           # or get_backend() = env/auto
+>>> backend.rfft2(np.ones((8, 8)), norm="ortho").shape   # half spectrum
+(8, 5)
 >>> policy = resolve_precision("float32")
->>> masks32 = policy.as_real(masks)          # float32 masks, complex64 spectra
+>>> policy.as_real(np.zeros((2, 2))).dtype   # float32 masks ...
+dtype('float32')
+>>> np.dtype(policy.complex_dtype)           # ... complex64 spectra
+dtype('complex64')
 >>> from repro.engine import ExecutionEngine
->>> engine = ExecutionEngine(kernels, fft_backend="scipy", fft_workers=8,
+>>> engine = ExecutionEngine(np.ones((1, 3, 3)), fft_backend="numpy",
 ...                          precision="float32")
+>>> engine.backend.name, engine.kernels.dtype
+('numpy', dtype('complex64'))
 
 Selection can also be driven entirely from the environment::
 

@@ -18,8 +18,18 @@ Subcommands cover the typical library workflow without writing any Python:
   processes, and print the focus-exposure matrix + window summary;
   ``--store DIR`` persists every condition to a resumable campaign store
   (``--resume`` continues a killed campaign, computing only the remainder),
+* ``campaign-report`` — render a stored campaign (CD table, process-window
+  summary, per-focus aerial thumbnails when memmaps were kept) straight from
+  a ``--store`` directory, with **zero recomputation** — no engine is built,
+  so it doubles as a progress monitor for a live campaign,
 * ``experiments``— run every table / figure driver (same as
   ``python -m repro.experiments.runner``).
+
+``image-layout`` and ``sweep-window`` accept ``--input`` as a dense raster
+(``.npy``/``.npz``) **or** a geometry layout file (``.json`` in the
+repro-layout schema, or GDSII-text); geometry files image through the
+windowed layout readers in :mod:`repro.layout`, so the dense raster never
+needs to exist.
 
 Run ``python -m repro.cli <subcommand> --help`` for the options.
 """
@@ -136,6 +146,16 @@ def _load_layout_mask(path: str) -> np.ndarray:
     return mask
 
 
+def _load_layout_source(path: str, pixel_size_nm: float):
+    """Dense raster (``.npy``/``.npz``) or windowed geometry reader (anything
+    :func:`repro.layout.is_layout_file` recognises — JSON / GDSII-text)."""
+    from .layout import is_layout_file, load_layout_file
+
+    if is_layout_file(path):
+        return load_layout_file(path, pixel_size_nm=pixel_size_nm)
+    return _load_layout_mask(path)
+
+
 def _synthesize_layout_mask(height_px: int, width_px: int, tile_size_px: int,
                             pixel_size_nm: float, family: str, seed: int) -> np.ndarray:
     """Paste generator tiles onto an (height, width) canvas — a stand-in full layout."""
@@ -166,7 +186,7 @@ def command_image_layout(arguments) -> int:
               file=sys.stderr)
         return 2
     if arguments.input:
-        mask = _load_layout_mask(arguments.input)
+        mask = _load_layout_source(arguments.input, arguments.pixel_size_nm)
     else:
         mask = _synthesize_layout_mask(arguments.height, arguments.width,
                                        arguments.tile_size, arguments.pixel_size_nm,
@@ -187,9 +207,11 @@ def command_image_layout(arguments) -> int:
                                  out_dir=arguments.out or None)
     elapsed = time.perf_counter() - start
 
+    is_reader = hasattr(mask, "read_window")
     height, width = mask.shape
     area_um2 = height * width * (arguments.pixel_size_nm / 1000.0) ** 2
-    mode = "streamed" if (arguments.streaming or arguments.out) else "imaged"
+    mode = "streamed" if (arguments.streaming or arguments.out or is_reader) \
+        else "imaged"
     print(f"{mode} {height}x{width} px layout "
           f"({result.num_tiles} tiles of {result.tiling.tile_px} px, "
           f"guard {result.tiling.guard_px} px) in {elapsed:.2f} s "
@@ -199,7 +221,9 @@ def command_image_layout(arguments) -> int:
         print(f"aerial / resist memmaps written to {arguments.out}/ "
               f"(aerial.npy, resist.npy, meta.json)")
     if arguments.output:
-        np.savez_compressed(arguments.output, mask=mask,
+        mask_array = mask.read_window(0, 0, height, width) if is_reader \
+            else np.asarray(mask)
+        np.savez_compressed(arguments.output, mask=mask_array,
                             aerial=np.asarray(result.aerial),
                             resist=np.asarray(result.resist))
         print(f"stitched aerial / resist written to {arguments.output}")
@@ -253,7 +277,7 @@ def _run_sweep_window(arguments, grid, num_workers: int,
     from .sweep import ProcessWindowSweep
 
     if arguments.input:
-        mask = _load_layout_mask(arguments.input)
+        mask = _load_layout_source(arguments.input, arguments.pixel_size_nm)
     else:
         mask = _synthesize_layout_mask(arguments.height, arguments.width,
                                        arguments.tile_size, arguments.pixel_size_nm,
@@ -280,7 +304,7 @@ def _run_sweep_window(arguments, grid, num_workers: int,
                 np.zeros((executor.num_workers, arguments.tile_size,
                           arguments.tile_size)))
 
-        from .sweep import CampaignIdentityError
+        from .sweep import CampaignIdentityError, CampaignStore
 
         start = time.perf_counter()
         try:
@@ -288,7 +312,10 @@ def _run_sweep_window(arguments, grid, num_workers: int,
                                 grid=grid, tolerance=arguments.tolerance,
                                 guard_px=arguments.guard if arguments.guard >= 0
                                 else None,
-                                store=arguments.store or None,
+                                store=CampaignStore(
+                                    arguments.store,
+                                    store_aerials=arguments.store_aerials)
+                                if arguments.store else None,
                                 resume=arguments.resume,
                                 streaming=arguments.streaming)
         except CampaignIdentityError as exc:
@@ -340,6 +367,8 @@ def _run_sweep_window(arguments, grid, num_workers: int,
                 FocusExposurePoint(focus, dose, matrix[focus][dose]))
               for dose in grid.dose_values]
              for focus in grid.focus_values_nm])
+        if hasattr(mask, "read_window"):
+            mask = mask.read_window(0, 0, height, width)
         np.savez_compressed(arguments.output, mask=mask, cd_nm=cd_nm,
                             in_spec=in_spec,
                             focus_values_nm=np.asarray(grid.focus_values_nm),
@@ -347,6 +376,31 @@ def _run_sweep_window(arguments, grid, num_workers: int,
                             target_cd_nm=np.asarray(outcome.window.target_cd_nm),
                             tolerance=np.asarray(outcome.window.tolerance))
         print(f"\nfocus-exposure matrix written to {arguments.output}")
+    return 0
+
+
+def command_campaign_report(arguments) -> int:
+    from .sweep.report import (
+        load_campaign_report,
+        render_campaign_report,
+        save_aerial_thumbnails,
+    )
+
+    try:
+        report = load_campaign_report(arguments.store)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_campaign_report(
+        report, thumbnail_width=arguments.thumbnail_width))
+    if arguments.thumbnails:
+        paths = save_aerial_thumbnails(report, arguments.thumbnails)
+        if paths:
+            print(f"\n{len(paths)} PGM thumbnail(s) written to "
+                  f"{arguments.thumbnails}/")
+        else:
+            print("\nno stored aerials to render (run sweep-window with a "
+                  "store that keeps aerials)", file=sys.stderr)
     return 0
 
 
@@ -429,8 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
                "  # both: bounded-memory imaging plus an npz copy\n"
                "  repro image-layout --streaming --out chip_dir --output chip.npz\n")
     _add_common(image_layout)
-    image_layout.add_argument("--input", help="load a 2-D layout mask from .npy/.npz "
-                                              "instead of synthesizing one")
+    image_layout.add_argument("--input",
+                              help="load a layout instead of synthesizing one: "
+                                   "a dense .npy/.npz raster, or a geometry "
+                                   "file (repro-layout .json / GDSII-text) "
+                                   "imaged through the windowed layout readers")
     image_layout.add_argument("--width", type=int, default=1024, help="layout width (px)")
     image_layout.add_argument("--height", type=int, default=768, help="layout height (px)")
     image_layout.add_argument("--tile-size", type=int, default=256, help="tile size (px)")
@@ -471,8 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
                "  # out-of-core imaging for layouts that do not fit in RAM\n"
                "  repro sweep-window --streaming --store campaign_dir --input huge.npy\n")
     _add_common(sweep)
-    sweep.add_argument("--input", help="load a 2-D layout mask from .npy/.npz "
-                                       "instead of synthesizing one")
+    sweep.add_argument("--input",
+                       help="load a layout instead of synthesizing one: a "
+                            "dense .npy/.npz raster, or a geometry file "
+                            "(repro-layout .json / GDSII-text) imaged through "
+                            "the windowed layout readers")
     sweep.add_argument("--width", type=int, default=512, help="layout width (px)")
     sweep.add_argument("--height", type=int, default=384, help="layout height (px)")
     sweep.add_argument("--tile-size", type=int, default=256, help="tile size (px)")
@@ -518,6 +578,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="continue an interrupted campaign in --store, "
                             "skipping completed conditions (without this "
                             "flag a non-empty store is refused)")
+    sweep.add_argument("--store-aerials", action="store_true",
+                       help="also persist each focus's stitched aerial into "
+                            "--store as an .npy memmap (rendered by "
+                            "campaign-report --thumbnail-width/--thumbnails)")
     sweep.add_argument("--streaming", action="store_true",
                        help="image each focus out-of-core (bounded tile "
                             "batches, incremental stitch)")
@@ -525,6 +589,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="optional output .npz for the focus-exposure matrix")
     _add_compute_options(sweep)
     sweep.set_defaults(handler=command_sweep_window)
+
+    campaign_report = subparsers.add_parser(
+        "campaign-report",
+        help="render a stored campaign (CD table, window summary, aerial "
+             "thumbnails) with zero recomputation",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  # text report of a finished (or still-running) campaign\n"
+               "  repro campaign-report --store campaign_dir\n"
+               "  # with ASCII thumbnails of any stored per-focus aerials\n"
+               "  repro campaign-report --store campaign_dir --thumbnail-width 48\n"
+               "  # write PGM thumbnails next to the report\n"
+               "  repro campaign-report --store campaign_dir --thumbnails thumbs/\n")
+    campaign_report.add_argument("--store", required=True,
+                                 help="campaign-store directory written by "
+                                      "sweep-window --store")
+    campaign_report.add_argument("--thumbnail-width", type=int, default=0,
+                                 help="render stored per-focus aerials as "
+                                      "ASCII art this many columns wide "
+                                      "(0 = list files only)")
+    campaign_report.add_argument("--thumbnails", default="",
+                                 help="also write each stored aerial as an "
+                                      "8-bit PGM into this directory")
+    campaign_report.set_defaults(handler=command_campaign_report)
 
     experiments = subparsers.add_parser("experiments", help="run every table / figure driver")
     _add_common(experiments)

@@ -27,7 +27,33 @@ Every FFT and dtype decision is delegated to the compute-backend layer in
 :mod:`repro.backend`: engines accept ``fft_backend`` / ``fft_workers`` /
 ``precision`` and default to the environment-selected backend
 (``REPRO_FFT_BACKEND``, auto = multi-threaded scipy when importable) at
-float64.
+float64.  Layout input is a dense ``(H, W)`` raster or a windowed
+:mod:`repro.layout` reader — readers stream tile-by-tile, so the dense
+raster never needs to exist.
+
+Usage
+-----
+An engine wraps a frequency-domain kernel bank ``(r, n, m)`` — golden SOCS
+kernels, learned kernels, anything — and images mask batches and layouts
+through it:
+
+>>> import numpy as np
+>>> from repro.engine import ExecutionEngine, TilingSpec
+>>> engine = ExecutionEngine(np.ones((2, 3, 3)), tile_size_px=16)
+>>> engine.order, engine.kernel_shape
+(2, (3, 3))
+>>> engine.aerial_batch(np.zeros((4, 16, 16))).shape     # batched imaging
+(4, 16, 16)
+>>> image = engine.image_layout(np.zeros((24, 40)), tile_px=16, guard_px=4)
+>>> image.aerial.shape, image.num_tiles                  # guard-banded tiling
+((24, 40), 15)
+>>> TilingSpec(tile_px=16, guard_px=4).core_px
+8
+
+Production entry points build engines from an optics description instead —
+``ExecutionEngine.for_optics(config)`` — so kernel banks flow through the
+process-wide cache, and campaigns go through :class:`ShardedExecutor` /
+:mod:`repro.sweep`.
 """
 
 from .batched import (

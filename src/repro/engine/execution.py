@@ -221,7 +221,7 @@ class ExecutionEngine:
             max_chunk_bytes=self.max_chunk_bytes,
             itemsize=self.precision.complex_itemsize))
 
-    def image_layout(self, layout: np.ndarray,
+    def image_layout(self, layout,
                      tiling: Optional[TilingSpec] = None,
                      tile_px: Optional[int] = None,
                      guard_px: Optional[int] = None,
@@ -232,6 +232,13 @@ class ExecutionEngine:
 
         Parameters
         ----------
+        layout:
+            A dense ``(H, W)`` raster, a ``numpy.memmap``, or a windowed
+            :class:`repro.layout.LayoutReader` (anything with a
+            ``read_window`` method).  Readers always image through the
+            streaming path — tiles are rasterised on demand and the dense
+            raster never exists — and produce bit-for-bit the dense-array
+            result.
         tiling:
             Explicit tile geometry; overrides ``tile_px`` / ``guard_px``.
         tile_px:
@@ -258,12 +265,17 @@ class ExecutionEngine:
             Streamed tiles per batch; defaults to :meth:`stream_batch_tiles`
             (the batched core's own chunk size).
         """
-        layout = self.precision.as_real(layout)
-        if layout.ndim != 2:
+        is_reader = hasattr(layout, "read_window")
+        if not is_reader:
+            # Readers rasterise per window; their tiles are cast per batch
+            # inside aerial_batch instead of up front.
+            layout = self.precision.as_real(layout)
+        if len(layout.shape) != 2:
             raise ValueError("layout must be a 2-D image")
         tiling = self.resolve_tiling(tiling, tile_px, guard_px)
 
-        if streaming or out_dir is not None or batch_tiles is not None:
+        if is_reader or streaming or out_dir is not None \
+                or batch_tiles is not None:
             if batch_tiles is None:
                 batch_tiles = self.stream_batch_tiles(tiling)
             aerial, resist, num_tiles = stream_image_layout(

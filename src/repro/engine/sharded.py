@@ -430,7 +430,7 @@ class ShardedExecutor:
     # ------------------------------------------------------------------ #
     # sharded layouts
     # ------------------------------------------------------------------ #
-    def image_layout(self, spec: EngineSpec, layout: np.ndarray,
+    def image_layout(self, spec: EngineSpec, layout,
                      tiling: Optional[TilingSpec] = None,
                      tile_px: Optional[int] = None,
                      guard_px: Optional[int] = None,
@@ -449,15 +449,22 @@ class ShardedExecutor:
         memory stays at one chunk while every worker has a shard.  Each
         batch rides :meth:`aerial_batch`, so a pool that breaks mid-stream
         degrades to serial for the remaining batches instead of raising.
+        ``layout`` may be a dense raster or a windowed
+        :class:`repro.layout.LayoutReader`; readers always stream (each
+        rasterised batch sharded across the pool) and match the dense-array
+        output bit for bit.
         """
         spec = self._resolve_spec(spec)
-        layout = resolve_precision(spec.precision).as_real(layout)
-        if layout.ndim != 2:
+        is_reader = hasattr(layout, "read_window")
+        if not is_reader:
+            layout = resolve_precision(spec.precision).as_real(layout)
+        if len(layout.shape) != 2:
             raise ValueError("layout must be a 2-D image")
         engine = self.warm(spec)
         tiling = engine.resolve_tiling(tiling, tile_px, guard_px)
 
-        if streaming or out_dir is not None or batch_tiles is not None:
+        if is_reader or streaming or out_dir is not None \
+                or batch_tiles is not None:
             if batch_tiles is None:
                 batch_tiles = engine.stream_batch_tiles(tiling) * \
                     max(1, self.num_workers)

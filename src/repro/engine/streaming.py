@@ -62,14 +62,17 @@ RESIST_FILE = "resist.npy"
 META_FILE = "meta.json"
 
 
-def iter_tile_batches(layout: np.ndarray,
+def iter_tile_batches(layout,
                       placements: Sequence[TilePlacement],
                       spec: TilingSpec, batch_tiles: int,
                       ) -> Iterator[Tuple[np.ndarray, List[TilePlacement]]]:
     """Yield ``(tiles, placements)`` batches of at most ``batch_tiles`` tiles.
 
     Tiles are cut lazily per batch, so only ``batch_tiles`` guard-banded
-    tiles are ever resident; ``layout`` may itself be a ``numpy.memmap``.
+    tiles are ever resident; ``layout`` may itself be a ``numpy.memmap`` or
+    a windowed :class:`repro.layout.LayoutReader` — with a reader the tiles
+    are rasterised window-by-window and the dense raster never exists, so
+    peak RAM for layout data is O(one batch) end to end.
     """
     if batch_tiles < 1:
         raise ValueError("batch_tiles must be at least 1")
@@ -89,7 +92,7 @@ def _preallocate(out_dir: Optional[str], name: str, shape: Tuple[int, int],
     return out
 
 
-def stream_image_layout(layout: np.ndarray, tiling: TilingSpec,
+def stream_image_layout(layout, tiling: TilingSpec,
                         image_batch: Callable[[np.ndarray], np.ndarray],
                         develop: Callable[[np.ndarray], np.ndarray],
                         real_dtype, batch_tiles: int,
@@ -115,10 +118,12 @@ def stream_image_layout(layout: np.ndarray, tiling: TilingSpec,
         documented directory layout and ``meta.json`` is written on success.
 
     Returns ``(aerial, resist, num_tiles)``; the arrays are memmaps when
-    ``out_dir`` was given (flushed before returning).
+    ``out_dir`` was given (flushed before returning).  ``layout`` may be a
+    dense array, a ``numpy.memmap`` or a windowed layout reader.
     """
-    layout = np.asarray(layout)
-    if layout.ndim != 2:
+    if not hasattr(layout, "read_window"):
+        layout = np.asarray(layout)
+    if len(layout.shape) != 2:
         raise ValueError("layout must be a 2-D image")
     height, width = layout.shape
     placements = plan_tiles(height, width, tiling)

@@ -94,30 +94,24 @@ def extract_tile_batch(layout: np.ndarray, placements: Sequence[TilePlacement],
     full tile stack for the layout is never materialised; ``extract_tiles``
     is the all-placements special case.  ``layout`` may be any 2-D array-like
     including a ``numpy.memmap`` — only the windows actually read are paged
-    in.  Content beyond the layout boundary is zero (an empty reticle).
+    in — or a windowed :class:`repro.layout.LayoutReader` (anything with a
+    ``read_window`` method), in which case each guard-banded tile is
+    rasterised on demand and the dense raster never exists.  Content beyond
+    the layout boundary is zero (an empty reticle) on every path.
     """
-    layout = np.asarray(layout)
-    if not np.issubdtype(layout.dtype, np.floating):
-        layout = layout.astype(float)
-    if layout.ndim != 2:
-        raise ValueError("layout must be a 2-D image")
-    height, width = layout.shape
-    tile = spec.tile_px
-    guard = spec.guard_px
+    if not hasattr(layout, "read_window"):
+        # Dense arrays speak the same protocol through the adapter, so the
+        # zero-padded window-clipping arithmetic lives in exactly one place
+        # (ArrayLayoutReader.read_window).
+        from ..layout.reader import ArrayLayoutReader
 
-    tiles = np.zeros((len(placements), tile, tile), dtype=layout.dtype)
+        layout = ArrayLayoutReader(np.asarray(layout))
+    tile, guard = spec.tile_px, spec.guard_px
+    tiles = np.zeros((len(placements), tile, tile),
+                     dtype=getattr(layout, "dtype", float))
     for index, place in enumerate(placements):
-        top, left = place.row - guard, place.col - guard
-        src_top, src_left = max(top, 0), max(left, 0)
-        src_bottom = min(top + tile, height)
-        src_right = min(left + tile, width)
-        if src_bottom <= src_top or src_right <= src_left:
-            continue
-        dst_top, dst_left = src_top - top, src_left - left
-        tiles[index,
-              dst_top:dst_top + (src_bottom - src_top),
-              dst_left:dst_left + (src_right - src_left)] = (
-            layout[src_top:src_bottom, src_left:src_right])
+        tiles[index] = layout.read_window(place.row - guard,
+                                          place.col - guard, tile, tile)
     return tiles
 
 
@@ -127,9 +121,12 @@ def extract_tiles(layout: np.ndarray, spec: TilingSpec,
 
     Each tile window extends ``guard_px`` pixels beyond its core on every
     side; content beyond the layout boundary is zero (an empty reticle).
+    ``layout`` may be a dense array or a windowed layout reader (see
+    :func:`extract_tile_batch`).
     """
-    layout = np.asarray(layout)
-    if layout.ndim != 2:
+    if not hasattr(layout, "read_window"):
+        layout = np.asarray(layout)
+    if len(layout.shape) != 2:
         raise ValueError("layout must be a 2-D image")
     placements = plan_tiles(layout.shape[0], layout.shape[1], spec)
     return extract_tile_batch(layout, placements, spec), placements

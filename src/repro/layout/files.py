@@ -1,0 +1,154 @@
+"""Layout scenario files on disk: JSON and GDSII-text loaders.
+
+Real lithography campaigns start from a layout archive, not a Python object.
+This module reads two simple on-disk formats straight into a spatially
+indexed :class:`~repro.layout.indexed.GeometryLayoutReader`, so a scenario
+file can drive the whole out-of-core pipeline without a dense raster ever
+existing:
+
+* the ``repro-layout`` **JSON** format written by
+  :func:`repro.masks.io.save_layout` (layer -> rectangle list, nm units),
+  extended with an optional ``"polygons"`` mapping
+  (layer -> list of ``[x, y]`` vertex rings, rectilinear), and
+* a minimal **GDSII-text** subset (the ASCII form emitted by ``gds2ascii``
+  style tools): ``BOUNDARY`` / ``LAYER n`` / ``XY x1 y1 x2 y2 ...`` /
+  ``ENDEL`` records describe rectilinear polygons on numbered layers.
+  Coordinates are nanometres; unhandled records (``HEADER``, ``STRNAME``,
+  ``UNITS``, ...) are ignored so real exports load without preprocessing.
+
+Use :func:`load_layout_file`, which dispatches on the file suffix
+(``.json`` vs anything else) and returns a ready-to-image reader.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+from ..masks.geometry import Polygon, Rect
+from .indexed import DEFAULT_BUCKET_PX, GeometryLayoutReader
+
+_LAYOUT_FORMAT = "repro-layout"
+
+
+def read_layout_shapes(path: str) -> Tuple[Dict[str, List], Optional[float]]:
+    """Parse a layout file into ``(layer -> shapes, extent_nm or None)``.
+
+    The JSON format records its extent; GDSII-text does not (``None`` —
+    callers derive it from the shapes' bounding box).
+    """
+    if path.endswith(".json"):
+        return _read_json_layout(path)
+    return _read_gds_text_layout(path), None
+
+
+def _read_json_layout(path: str) -> Tuple[Dict[str, List], float]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _LAYOUT_FORMAT:
+        raise ValueError(f"{path} is not a {_LAYOUT_FORMAT} JSON file")
+    shapes: Dict[str, List] = {}
+    for layer, rects in document.get("layers", {}).items():
+        shapes.setdefault(layer, []).extend(
+            Rect(float(x), float(y), float(w), float(h))
+            for x, y, w, h in rects)
+    for layer, rings in document.get("polygons", {}).items():
+        shapes.setdefault(layer, []).extend(
+            Polygon(tuple((float(x), float(y)) for x, y in ring))
+            for ring in rings)
+    return shapes, float(document["extent_nm"])
+
+
+def _read_gds_text_layout(path: str) -> Dict[str, List]:
+    shapes: Dict[str, List] = {}
+    layer: Optional[str] = None
+    vertices: List[Tuple[float, float]] = []
+    in_element = False
+    # The standard .gds suffix usually means *binary* GDSII; only the ASCII
+    # text form is supported here, so probe and say that clearly instead of
+    # surfacing a decode traceback (or zero shapes) from inside the parser.
+    # Binary GDSII record headers are full of NUL bytes — which UTF-8
+    # happily decodes — so the NUL check is the reliable signal.
+    with open(path, "rb") as probe:
+        head = probe.read(512)
+    binary = b"\x00" in head
+    if not binary:
+        try:
+            head.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # A multibyte char truncated by the 512-byte probe errors at
+            # the very tail; anything earlier is genuinely non-text.
+            binary = exc.start < len(head) - 4
+    if binary:
+        raise ValueError(
+            f"{path} is not GDSII text (looks like binary GDSII, which is "
+            f"not supported — convert it with a gds2ascii-style tool first)")
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            tokens = line.split()
+            if not tokens:
+                continue
+            record = tokens[0].upper()
+            if record == "BOUNDARY":
+                in_element, layer, vertices = True, None, []
+            elif record == "LAYER" and in_element:
+                layer = tokens[1] if len(tokens) > 1 else "0"
+            elif record == "XY" and in_element:
+                values = [float(token) for token in tokens[1:]]
+                if len(values) % 2:
+                    raise ValueError(
+                        f"{path}:{line_number}: XY needs coordinate pairs")
+                vertices.extend(zip(values[0::2], values[1::2]))
+            elif record == "ENDEL" and in_element:
+                if len(vertices) > 1 and vertices[0] == vertices[-1]:
+                    vertices = vertices[:-1]  # closed ring: drop the repeat
+                if len(vertices) >= 3:
+                    shapes.setdefault(layer or "0", []).append(
+                        Polygon(tuple(vertices)))
+                in_element, layer, vertices = False, None, []
+    return shapes
+
+
+def shapes_extent_nm(shapes: Dict[str, List]) -> float:
+    """Tight square extent covering every shape (their joint bounding box)."""
+    extent = 0.0
+    for layer_shapes in shapes.values():
+        for item in layer_shapes:
+            box = item.bounding_box() if isinstance(item, Polygon) else item
+            extent = max(extent, box.x2, box.y2)
+    if extent <= 0:
+        raise ValueError("layout file contains no shapes")
+    return extent
+
+
+def load_layout_file(path: str, pixel_size_nm: float,
+                     shape: Optional[Tuple[int, int]] = None,
+                     layers=None,
+                     bucket_px: int = DEFAULT_BUCKET_PX,
+                     ) -> GeometryLayoutReader:
+    """Load a JSON / GDSII-text layout file as a windowed reader.
+
+    ``shape`` fixes the raster dimensions; by default they follow the file's
+    recorded extent (JSON) or the shapes' bounding box rounded up to whole
+    pixels (GDSII-text).
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    shapes, extent_nm = read_layout_shapes(path)
+    if shape is None and extent_nm is None:
+        side = -(-shapes_extent_nm(shapes) // pixel_size_nm)  # ceil
+        shape = (int(side), int(side))
+    return GeometryLayoutReader(shapes, pixel_size_nm, shape=shape,
+                                extent_nm=extent_nm, layers=layers,
+                                bucket_px=bucket_px)
+
+
+#: File suffixes :func:`load_layout_file` understands — the CLI uses this to
+#: decide between a dense ``.npy``/``.npz`` raster and a geometry reader.
+LAYOUT_FILE_SUFFIXES = (".json", ".gds", ".gdstxt", ".gds.txt", ".txt")
+
+
+def is_layout_file(path: str) -> bool:
+    """True when ``path`` looks like a geometry layout file (by suffix)."""
+    return path.endswith(LAYOUT_FILE_SUFFIXES)

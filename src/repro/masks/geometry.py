@@ -82,14 +82,22 @@ class Polygon:
         return Rect(min(xs), min(ys), max(xs) - min(xs), max(ys) - min(ys))
 
     def to_rects(self) -> List[Rect]:
-        """Decompose into rectangles by vertical slab sweep (rectilinear polygons only)."""
+        """Decompose into rectangles by vertical slab sweep (rectilinear polygons only).
+
+        Degenerate input degrades gracefully rather than raising: zero-area
+        spans (coincident crossings from pinched or zero-height features)
+        and zero-width slabs are skipped, and a fully degenerate polygon
+        (collinear vertices) decomposes to an empty list — it rasterises to
+        nothing either way.
+        """
         xs = sorted({v[0] for v in self.vertices})
         rects: List[Rect] = []
         for x1, x2 in zip(xs[:-1], xs[1:]):
             mid = (x1 + x2) / 2.0
             spans = _vertical_spans(self.vertices, mid)
             for y1, y2 in spans:
-                rects.append(Rect(x1, y1, x2 - x1, y2 - y1))
+                if y2 > y1:  # skip zero-area spans instead of raising
+                    rects.append(Rect(x1, y1, x2 - x1, y2 - y1))
         return rects
 
 

@@ -13,13 +13,48 @@ production lithography service — and this layer:
 * batch-images every condition through the vectorised batched core, sharded
   across worker processes by :class:`~repro.engine.sharded.ShardedExecutor`,
 * extracts CDs via :func:`repro.optics.process_window.measure_cd` and returns
-  the standard :class:`~repro.optics.process_window.ProcessWindowResult`.
+  the standard :class:`~repro.optics.process_window.ProcessWindowResult`,
+* persists every condition to a resumable :class:`CampaignStore`
+  (``store=`` / ``resume=``) and renders stored campaigns back into reports
+  with zero recomputation (:func:`load_campaign_report` /
+  :func:`render_campaign_report`, CLI ``repro.cli campaign-report``).
+
+Usage
+-----
+The grid is pure data; campaigns run through :class:`ProcessWindowSweep`:
+
+>>> from repro.sweep import FocusExposureGrid
+>>> grid = FocusExposureGrid(focus_values_nm=(-40.0, 0.0, 40.0),
+...                          dose_values=(0.95, 1.0, 1.05))
+>>> len(grid), grid.nominal_focus_nm, grid.nominal_dose
+(9, 0.0, 1.0)
+>>> grid.conditions()[:2]                    # focus-major imaging order
+[(-40.0, 0.95), (-40.0, 1.0)]
+
+Condition identity is exact (no float rounding ambiguity between runs):
+
+>>> from repro.sweep import condition_id
+>>> condition_id(-40.0, 1.05)
+'f-40.0_d1.05'
+
+A full campaign is then ``ProcessWindowSweep(config).run(layout, grid=grid,
+store="campaign_dir")`` — ``layout`` being a dense raster or a windowed
+:mod:`repro.layout` reader — and ``run(..., resume=True)`` against the same
+store recomputes only what is missing.
 """
 
 from .grid import FocusExposureGrid
 from .process_window import ProcessWindowSweep, SweepOutcome
+from .report import (
+    CampaignReport,
+    load_campaign_report,
+    render_campaign_report,
+    save_aerial_thumbnails,
+)
 from .store import CampaignIdentityError, CampaignStore, condition_id, layout_digest
 
 __all__ = ["FocusExposureGrid", "ProcessWindowSweep", "SweepOutcome",
            "CampaignStore", "CampaignIdentityError", "condition_id",
-           "layout_digest"]
+           "layout_digest",
+           "CampaignReport", "load_campaign_report", "render_campaign_report",
+           "save_aerial_thumbnails"]

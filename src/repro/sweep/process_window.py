@@ -170,10 +170,15 @@ class ProcessWindowSweep:
         (focus, shard) over the executor's shared pool and yields each focus
         as it completes (contents deterministic); the streaming path images
         focus-by-focus in bounded batches instead, trading cross-focus
-        overlap for O(tile-batch) RAM.
+        overlap for O(tile-batch) RAM.  Windowed layout readers always take
+        the streaming path — materialising their full guard-banded tile
+        stack would cost more memory than the dense raster they exist to
+        avoid — mirroring ``ExecutionEngine.image_layout``.
         """
         if not foci:
             return
+        if hasattr(layout, "read_window"):
+            streaming = True
         if single_tile:
             specs = [self.spec_for_focus(focus) for focus in foci]
             for index, batch in self.executor.campaign_aerials(specs,
@@ -210,10 +215,14 @@ class ProcessWindowSweep:
         Parameters
         ----------
         layout:
-            Any 2-D mask raster.  A layout of exactly the configured tile
-            size goes straight through the batched core; anything else runs
-            through guard-banded tiling (``tile_px`` / ``guard_px`` as in
-            :meth:`ExecutionEngine.image_layout`).
+            Any 2-D mask raster — or a windowed
+            :class:`repro.layout.LayoutReader`, in which case tiles are
+            rasterised on demand (the dense raster never exists) and the
+            campaign identity is the reader's canonical shape digest
+            instead of a dense-raster SHA-256.  A layout of exactly the
+            configured tile size goes straight through the batched core;
+            anything else runs through guard-banded tiling (``tile_px`` /
+            ``guard_px`` as in :meth:`ExecutionEngine.image_layout`).
         target_cd_nm:
             Nominal CD the window is judged against.  ``None`` measures it
             from the grid's nominal (focus closest to 0, dose closest to 1)
@@ -240,8 +249,10 @@ class ProcessWindowSweep:
             condition — already persisted when a store is attached, so an
             exception raised here (or a kill) loses nothing.
         """
-        layout = np.asarray(layout, dtype=float)
-        if layout.ndim != 2:
+        is_reader = hasattr(layout, "read_window")
+        if not is_reader:
+            layout = np.asarray(layout, dtype=float)
+        if len(layout.shape) != 2:
             raise ValueError("layout must be a 2-D image")
         if target_cd_nm is not None and target_cd_nm <= 0:
             raise ValueError("target_cd_nm must be positive")
@@ -252,7 +263,7 @@ class ProcessWindowSweep:
             store = CampaignStore(store)
 
         tile = self.config.tile_size_px
-        single_tile = layout.shape == (tile, tile)
+        single_tile = tuple(layout.shape) == (tile, tile)
 
         start = time.perf_counter()
         state = {"num_tiles": 1, "cd_row": self.cd_row, "computed": 0}
@@ -271,6 +282,12 @@ class ProcessWindowSweep:
             if store.get_derived("num_tiles") is not None:
                 # Provenance survives a full resume (no focus re-imaged).
                 state["num_tiles"] = int(store.get_derived("num_tiles"))
+
+        if is_reader and single_tile:
+            # One tile is in-memory scale by definition; the identity above
+            # already used the reader's digest, so materialising here only
+            # feeds the batched core its expected dense (1, H, W) stack.
+            layout = layout.read_window(0, 0, tile, tile)
 
         def handle_focus(focus: float, aerial: np.ndarray,
                          num_tiles: int) -> None:

@@ -1,0 +1,221 @@
+"""Render a stored campaign without recomputing anything.
+
+A :class:`~repro.sweep.store.CampaignStore` directory is the durable product
+of a process-window campaign: the manifest carries the campaign identity,
+the pinned derived values and an inline CD per completed condition, and
+optional ``aerial_f<focus>.npy`` memmaps carry the stitched aerials.  This
+module turns that directory back into the human-facing report — CD table,
+process-window summary, per-focus aerial thumbnails — **from disk alone**:
+no engine is built, no kernel bank decomposed, no tile imaged (pinned by
+``tests/test_campaign_report.py`` via engine call counting and
+:class:`~repro.engine.cache.CacheStats`).
+
+Partial campaigns render too: a store being appended to by a live (or
+killed) sweep reports every completed condition, marks the missing ones and
+states the completion fraction, so ``repro.cli campaign-report`` doubles as
+a progress monitor for long campaigns.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..optics.process_window import FocusExposurePoint, ProcessWindowResult
+from .grid import FocusExposureGrid
+from .store import CampaignStore, condition_id
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """Everything a stored campaign can say about itself, engine-free."""
+
+    store_dir: str
+    campaign: dict
+    derived: dict
+    completed: Dict[str, dict]
+    grid: FocusExposureGrid
+
+    @property
+    def total_conditions(self) -> int:
+        return len(self.grid)
+
+    @property
+    def completed_conditions(self) -> int:
+        return sum(1 for focus, dose in self.grid.conditions()
+                   if condition_id(focus, dose) in self.completed)
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completed_conditions == self.total_conditions
+
+    def cd_matrix(self) -> Dict[float, Dict[float, Optional[float]]]:
+        """``matrix[focus][dose]`` -> CD in nm, ``None`` when not yet computed."""
+        matrix: Dict[float, Dict[float, Optional[float]]] = {}
+        for focus in self.grid.focus_values_nm:
+            row: Dict[float, Optional[float]] = {}
+            for dose in self.grid.dose_values:
+                entry = self.completed.get(condition_id(focus, dose))
+                row[dose] = None if entry is None else float(entry["cd_nm"])
+            matrix[focus] = row
+        return matrix
+
+    def window(self) -> Optional[ProcessWindowResult]:
+        """The process window over the *completed* conditions.
+
+        ``None`` until a target CD exists (pinned in ``derived`` by the
+        sweep, or measurable once the nominal condition is on disk).
+        """
+        target = self.derived.get("target_cd_nm")
+        if target is None:
+            nominal = self.completed.get(condition_id(
+                self.grid.nominal_focus_nm, self.grid.nominal_dose))
+            if nominal is None or float(nominal["cd_nm"]) <= 0:
+                return None
+            target = float(nominal["cd_nm"])
+        points = tuple(
+            FocusExposurePoint(focus_nm=float(entry["focus_nm"]),
+                               dose=float(entry["dose"]),
+                               cd_nm=float(entry["cd_nm"]))
+            for entry in self.completed.values())
+        return ProcessWindowResult(points=points, target_cd_nm=float(target),
+                                   tolerance=float(self.campaign["tolerance"]))
+
+    def aerial_files(self) -> List[Tuple[str, str]]:
+        """Stored per-focus aerial memmaps as ``(focus token, path)`` pairs."""
+        pattern = os.path.join(self.store_dir, "aerial_f*.npy")
+        pairs = []
+        for path in sorted(glob.glob(pattern)):
+            match = re.match(r"aerial_f(.+)\.npy$", os.path.basename(path))
+            if match:
+                pairs.append((match.group(1), path))
+        return pairs
+
+
+def load_campaign_report(store_dir: str) -> CampaignReport:
+    """Load a campaign store's manifest into a :class:`CampaignReport`.
+
+    Pure disk I/O: reads ``manifest.json`` (+ the completion log) and lists
+    aerial files.  Raises :class:`FileNotFoundError` when ``store_dir`` has
+    no manifest.
+    """
+    manifest = CampaignStore(store_dir).read_manifest()
+    campaign = manifest.get("campaign", {})
+    grid = FocusExposureGrid.from_sequences(
+        campaign.get("focus_values_nm", ()), campaign.get("dose_values", ()))
+    return CampaignReport(store_dir=str(store_dir), campaign=campaign,
+                          derived=manifest.get("derived", {}),
+                          completed=manifest.get("completed", {}), grid=grid)
+
+
+def _format_cd_table(report: CampaignReport,
+                     window: Optional[ProcessWindowResult]) -> str:
+    doses = report.grid.dose_values
+    matrix = report.cd_matrix()
+    lines = ["focus_nm \\ dose" + "".join(f"{dose:>10.3f}" for dose in doses)]
+    for focus in report.grid.focus_values_nm:
+        row = f"{focus:>15.1f}"
+        for dose, cd in matrix[focus].items():
+            if cd is None:
+                row += f"{'-':>9} "
+            else:
+                marker = " "
+                if window is not None and not window.in_spec(
+                        FocusExposurePoint(focus, dose, cd)):
+                    marker = "*"
+                row += f"{cd:>9.1f}{marker}"
+        lines.append(row)
+    legend = "(* = outside the CD tolerance band"
+    legend += "; - = not yet computed)" if not report.is_complete else ")"
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _format_summary(report: CampaignReport,
+                    window: ProcessWindowResult) -> str:
+    focus = report.grid.nominal_focus_nm
+    dose = report.grid.nominal_dose
+    return "\n".join([
+        f"target CD       : {window.target_cd_nm:.1f} nm "
+        f"(tolerance +/- {window.tolerance * 100:.0f}%)",
+        f"window fraction : {window.window_fraction() * 100:.1f}% "
+        f"of {len(window.points)} completed conditions in spec",
+        f"depth of focus  : {window.depth_of_focus_nm(dose):.1f} nm "
+        f"at dose {dose:g}",
+        f"exposure latitude: {window.exposure_latitude(focus) * 100:.1f}% "
+        f"at focus {focus:g} nm",
+    ])
+
+
+def render_campaign_report(report: CampaignReport,
+                           thumbnail_width: int = 0) -> str:
+    """The full text report: identity, progress, CD table, summary, thumbnails.
+
+    ``thumbnail_width`` > 0 renders each stored per-focus aerial memmap as
+    ASCII art that wide (the memmap is strided down to thumbnail scale
+    before any full-array work happens, so huge aerials stay on disk);
+    0 lists the files without rendering.
+    """
+    campaign = report.campaign
+    shape = campaign.get("layout_shape", ["?", "?"])
+    lines = [
+        f"campaign store  : {report.store_dir}",
+        f"layout          : {shape[0]} x {shape[1]} px "
+        f"(digest {str(campaign.get('layout_sha256', '?'))[:12]}...)",
+        f"optics          : {str(campaign.get('optics_fingerprint', '?'))[:12]}...",
+        f"grid            : {len(report.grid.focus_values_nm)} focus x "
+        f"{len(report.grid.dose_values)} dose, "
+        f"tolerance +/- {float(campaign.get('tolerance', 0)) * 100:.0f}%",
+        f"progress        : {report.completed_conditions}/"
+        f"{report.total_conditions} conditions complete"
+        + ("" if report.is_complete else " (campaign in progress)"),
+        "",
+    ]
+    window = report.window()
+    lines.append(_format_cd_table(report, window))
+    if window is not None and window.points:
+        lines.append("")
+        lines.append(_format_summary(report, window))
+    aerials = report.aerial_files()
+    if aerials:
+        lines.append("")
+        lines.append(f"stored aerials  : {len(aerials)} per-focus memmap(s)")
+        for token, path in aerials:
+            lines.append(f"  focus {token}: {path}")
+            if thumbnail_width > 0:
+                from ..analysis.visualize import ascii_image
+
+                aerial = np.load(path, mmap_mode="r")
+                # Stride down before any dense work: ascii_image normalises
+                # over its whole input, which must stay thumbnail-sized.
+                step = max(1, aerial.shape[1] // (2 * thumbnail_width))
+                lines.append(ascii_image(np.asarray(aerial[::step, ::step]),
+                                         width=thumbnail_width))
+    return "\n".join(lines)
+
+
+def save_aerial_thumbnails(report: CampaignReport, directory: str,
+                           max_width_px: int = 512) -> Dict[str, str]:
+    """Write each stored aerial as an 8-bit PGM thumbnail; token -> path.
+
+    Aerials wider than ``max_width_px`` are strided down to thumbnail scale
+    **before** any dense work — like the ASCII rendering, a multi-GB
+    memmapped aerial stays on disk and only the sampled pixels are read.
+    """
+    from ..analysis.visualize import write_pgm
+
+    if max_width_px <= 0:
+        raise ValueError("max_width_px must be positive")
+    paths: Dict[str, str] = {}
+    for token, path in report.aerial_files():
+        aerial = np.load(path, mmap_mode="r")
+        step = max(1, -(-aerial.shape[1] // max_width_px))  # ceil
+        paths[token] = write_pgm(
+            np.asarray(aerial[::step, ::step], dtype=float),
+            os.path.join(directory, f"aerial_f{token}.pgm"))
+    return paths

@@ -71,7 +71,6 @@ full records for archival / downstream tooling.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import re
@@ -80,19 +79,18 @@ from typing import Dict, Iterable, Optional, Tuple
 
 import numpy as np
 
+from ..layout.reader import array_digest, source_digest
+
 MANIFEST_FILE = "manifest.json"
 COMPLETION_LOG_FILE = "completed.log"
 MANIFEST_VERSION = 1
 
-
-def layout_digest(layout: np.ndarray) -> str:
-    """SHA-256 of a layout's raw bytes + shape (the campaign's mask identity)."""
-    layout = np.ascontiguousarray(layout)
-    digest = hashlib.sha256()
-    digest.update(str(layout.shape).encode("ascii"))
-    digest.update(str(layout.dtype).encode("ascii"))
-    digest.update(layout.tobytes())
-    return digest.hexdigest()
+#: Dense-raster campaign identity (SHA-256 of bytes + shape).  The
+#: implementation lives with the layout readers; re-exported here because
+#: the store is where campaign identity is consumed.  Windowed readers hash
+#: their canonical shape list instead (``LayoutReader.digest()``) — same
+#: manifest field, different witness.
+layout_digest = array_digest
 
 
 def condition_id(focus_nm: float, dose: float) -> str:
@@ -158,6 +156,20 @@ class CampaignStore:
                     except ValueError:
                         break
                     manifest["completed"][appended["id"]] = appended["entry"]
+        return manifest
+
+    def read_manifest(self) -> dict:
+        """Read-only view of the on-disk manifest, completion log merged in.
+
+        For reporting tools (``repro.cli campaign-report``): no identity
+        check, no consolidation, no writes — a store a live campaign is
+        appending to can be reported safely at any instant.
+        """
+        manifest = self._load_manifest()
+        if manifest is None:
+            raise FileNotFoundError(
+                f"{self.root} does not contain a campaign manifest "
+                f"({MANIFEST_FILE})")
         return manifest
 
     def _append_completion(self, cond: str, entry: dict) -> None:
@@ -310,19 +322,23 @@ class CampaignStore:
     # campaign identity helper
     # ------------------------------------------------------------------ #
     @staticmethod
-    def campaign_identity(layout: np.ndarray, focus_values_nm: Iterable[float],
+    def campaign_identity(layout, focus_values_nm: Iterable[float],
                           dose_values: Iterable[float], tolerance: float,
                           optics_fingerprint: str,
                           tile_px: Optional[int] = None,
                           guard_px: Optional[int] = None) -> Tuple[dict, str]:
         """The manifest identity block for a sweep (and the layout digest).
 
+        ``layout`` is a dense raster (hashed byte-for-byte) or a windowed
+        :class:`repro.layout.LayoutReader` (its canonical shape digest —
+        the raster is never materialised just to identify the campaign).
+
         ``tile_px`` / ``guard_px`` are the *requested* tiling overrides
         (``None`` = the engine defaults, which are a pure function of the
         optics fingerprint): guard width changes seam behaviour and hence
         CDs, so a resume under different tiling must be refused, not mixed.
         """
-        digest = layout_digest(layout)
+        digest = source_digest(layout)
         return ({"layout_sha256": digest,
                  "layout_shape": [int(s) for s in layout.shape],
                  "optics_fingerprint": optics_fingerprint,

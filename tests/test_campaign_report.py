@@ -1,0 +1,165 @@
+"""Campaign reporting (repro.sweep.report + repro.cli campaign-report).
+
+The defining property — rendering a stored campaign performs **zero
+recomputation** — is pinned two ways: engine construction is poisoned while
+the report renders, and the kernel cache's ``CacheStats`` counters must not
+move.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.engine.execution
+from repro.cli import main
+from repro.engine.cache import KernelBankCache
+from repro.optics.simulator import OpticsConfig
+from repro.sweep import (
+    CampaignStore,
+    FocusExposureGrid,
+    ProcessWindowSweep,
+    load_campaign_report,
+    render_campaign_report,
+    save_aerial_thumbnails,
+)
+
+GRID = FocusExposureGrid(focus_values_nm=(-40.0, 0.0, 40.0),
+                         dose_values=(0.95, 1.0, 1.05))
+
+
+def make_mask() -> np.ndarray:
+    mask = np.zeros((32, 32))
+    mask[8:24, 4:28] = 1.0
+    return mask
+
+
+@pytest.fixture(scope="module")
+def completed_store(tmp_path_factory) -> str:
+    """One real campaign, persisted with aerial memmaps."""
+    store_dir = str(tmp_path_factory.mktemp("campaign") / "store")
+    config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+    store = CampaignStore(store_dir, store_aerials=True)
+    ProcessWindowSweep(config).run(make_mask(), grid=GRID, store=store)
+    return store_dir
+
+
+class TestCampaignReport:
+    def test_loads_identity_grid_and_completion(self, completed_store):
+        report = load_campaign_report(completed_store)
+        assert report.grid.focus_values_nm == GRID.focus_values_nm
+        assert report.grid.dose_values == GRID.dose_values
+        assert report.is_complete
+        assert report.completed_conditions == len(GRID)
+        assert report.campaign["layout_shape"] == [32, 32]
+        window = report.window()
+        assert window is not None and len(window.points) == len(GRID)
+
+    def test_render_contains_table_summary_and_aerials(self, completed_store):
+        report = load_campaign_report(completed_store)
+        text = render_campaign_report(report, thumbnail_width=24)
+        assert "9/9 conditions complete" in text
+        assert "focus_nm \\ dose" in text
+        assert "target CD" in text
+        assert "window fraction" in text
+        assert "stored aerials" in text and "3 per-focus memmap(s)" in text
+
+    def test_zero_recomputation(self, completed_store, monkeypatch):
+        """No engine is built, no bank decomposed, no tile imaged."""
+        calls = []
+
+        def poisoned(self, *args, **kwargs):
+            calls.append("engine")
+            raise AssertionError("campaign-report must not build an engine")
+
+        monkeypatch.setattr(repro.engine.execution.ExecutionEngine,
+                            "__init__", poisoned)
+        cache = KernelBankCache()
+        report = load_campaign_report(completed_store)
+        render_campaign_report(report, thumbnail_width=16)
+        assert calls == []
+        assert cache.stats.tcc_computes == 0
+        assert cache.stats.decompositions == 0
+
+    def test_partial_campaign_renders_progress(self, tmp_path):
+        """A store a killed (or live) sweep left behind still reports."""
+        identity, _ = CampaignStore.campaign_identity(
+            make_mask(), GRID.focus_values_nm, GRID.dose_values, 0.1,
+            "fingerprint")
+        store = CampaignStore(str(tmp_path / "partial"))
+        store.begin(identity, resume=True)
+        store.set_derived("target_cd_nm", 100.0)
+        store.record(0.0, 1.0, 100.0, 0.225)
+        store.record(0.0, 0.95, 120.0, 0.237)
+        report = load_campaign_report(str(tmp_path / "partial"))
+        assert not report.is_complete
+        assert report.completed_conditions == 2
+        matrix = report.cd_matrix()
+        assert matrix[0.0][1.0] == 100.0
+        assert matrix[-40.0][1.0] is None
+        text = render_campaign_report(report)
+        assert "2/9 conditions complete (campaign in progress)" in text
+        assert "-" in text and "not yet computed" in text
+        assert "120.0*" in text  # out of the 10% band around 100 nm
+
+    def test_window_is_none_without_target(self, tmp_path):
+        identity, _ = CampaignStore.campaign_identity(
+            make_mask(), GRID.focus_values_nm, GRID.dose_values, 0.1,
+            "fingerprint")
+        store = CampaignStore(str(tmp_path / "no-target"))
+        store.begin(identity, resume=True)
+        store.record(-40.0, 1.0, 90.0, 0.225)  # nominal condition missing
+        report = load_campaign_report(str(tmp_path / "no-target"))
+        assert report.window() is None
+        text = render_campaign_report(report)  # renders without a summary
+        assert "target CD" not in text
+
+    def test_thumbnails_written_as_pgm(self, completed_store, tmp_path):
+        report = load_campaign_report(completed_store)
+        paths = save_aerial_thumbnails(report, str(tmp_path / "thumbs"))
+        assert len(paths) == len(GRID.focus_values_nm)
+        for path in paths.values():
+            with open(path, "rb") as handle:
+                assert handle.read(2) == b"P5"
+
+    def test_thumbnails_are_downsampled(self, completed_store, tmp_path):
+        """Huge memmapped aerials must not be materialised at full size."""
+        report = load_campaign_report(completed_store)
+        paths = save_aerial_thumbnails(report, str(tmp_path / "small"),
+                                       max_width_px=16)
+        for path in paths.values():
+            with open(path, "rb") as handle:
+                header = handle.readline() + handle.readline()
+            width = int(header.split()[1])
+            assert width <= 16  # 32 px aerial strided down, never full-res
+
+
+class TestCampaignReportCLI:
+    def test_cli_renders_stored_campaign(self, completed_store, capsys):
+        assert main(["campaign-report", "--store", completed_store,
+                     "--thumbnail-width", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "9/9 conditions complete" in out
+        assert "focus_nm \\ dose" in out
+
+    def test_cli_zero_engine_calls(self, completed_store, capsys,
+                                   monkeypatch):
+        def poisoned(self, *args, **kwargs):
+            raise AssertionError("campaign-report must not build an engine")
+
+        monkeypatch.setattr(repro.engine.execution.ExecutionEngine,
+                            "__init__", poisoned)
+        assert main(["campaign-report", "--store", completed_store]) == 0
+
+    def test_cli_thumbnail_directory(self, completed_store, tmp_path,
+                                     capsys):
+        thumbs = str(tmp_path / "thumbs")
+        assert main(["campaign-report", "--store", completed_store,
+                     "--thumbnails", thumbs]) == 0
+        assert "PGM thumbnail(s) written" in capsys.readouterr().out
+        assert len(os.listdir(thumbs)) == len(GRID.focus_values_nm)
+
+    def test_cli_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["campaign-report", "--store",
+                     str(tmp_path / "nowhere")]) == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,80 @@
+"""Documentation guarantees: runnable doctests + drift checks.
+
+Two promises made by the docs satellite are enforced here (and again in the
+CI ``docs`` job, which also runs ``tools/check_docs.py`` standalone):
+
+* the usage examples in the public package docstrings (``repro.engine``,
+  ``repro.sweep``, ``repro.backend``, ``repro.layout`` and the reader
+  classes) actually run, and
+* ``docs/cli.md`` matches the live CLI ``--help`` output in both
+  directions, documents every ``REPRO_*`` env var, and no markdown link in
+  ``README.md`` / ``docs/`` is broken.
+"""
+
+import doctest
+import importlib
+import os
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "tools"))
+
+import check_docs  # noqa: E402  (tools/ is not a package)
+
+DOCTEST_MODULES = [
+    "repro.backend",
+    "repro.engine",
+    "repro.sweep",
+    "repro.layout",
+    "repro.layout.reader",
+    "repro.layout.indexed",
+]
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_public_docstring_examples_run(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False,
+                             optionflags=doctest.NORMALIZE_WHITESPACE)
+    assert result.attempted > 0, f"{module_name} has no doctest examples"
+    assert result.failed == 0, (
+        f"{result.failed}/{result.attempted} doctest example(s) in "
+        f"{module_name} failed — run `python -m doctest` on it for details")
+
+
+class TestDocsDrift:
+    def test_cli_reference_matches_help_output(self):
+        assert check_docs.check_cli_docs(REPO_ROOT) == []
+
+    def test_every_env_var_documented(self):
+        assert check_docs.check_env_vars(REPO_ROOT) == []
+
+    def test_markdown_links_resolve(self):
+        assert check_docs.check_links(REPO_ROOT) == []
+
+    def test_checker_detects_missing_flag(self, tmp_path):
+        """The drift check itself must actually bite."""
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (tmp_path / "src" / "repro").mkdir(parents=True)
+        (docs / "cli.md").write_text(
+            "## campaign-report\n\nonly `--store` documented\n")
+        errors = check_docs.check_cli_docs(str(tmp_path))
+        assert any("--thumbnail-width" in error for error in errors)
+        assert any("no '## generate' section" in error for error in errors)
+
+    def test_checker_detects_phantom_flag(self, tmp_path):
+        docs = tmp_path / "docs"
+        docs.mkdir()
+        (docs / "cli.md").write_text("## experiments\n\n`--no-such-flag` "
+                                     "`--skip-ablations` `--preset` `--seed`\n")
+        errors = check_docs.check_cli_docs(str(tmp_path))
+        assert any("--no-such-flag" in error and "does not report" in error
+                   for error in errors)
+
+    def test_checker_detects_broken_link(self, tmp_path):
+        (tmp_path / "README.md").write_text("[gone](docs/missing.md)\n")
+        errors = check_docs.check_links(str(tmp_path))
+        assert any("broken link" in error for error in errors)

@@ -1,0 +1,364 @@
+"""Windowed layout readers (repro.layout): protocol, index, files, wiring.
+
+The headline invariant of the subsystem is pinned here: reader-fed streaming
+imaging is **bit-for-bit identical** to the dense-array path, across guard
+bands, backends, precisions and the sharded executor — and campaign identity
+comes from the reader's canonical shape digest without the dense raster ever
+existing.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    EngineSpec,
+    ExecutionEngine,
+    ShardedExecutor,
+    TilingSpec,
+    extract_tiles,
+    iter_tile_batches,
+    plan_tiles,
+)
+from repro.layout import (
+    ArrayLayoutReader,
+    GeometryLayoutReader,
+    array_digest,
+    as_layout_reader,
+    is_layout_file,
+    is_layout_reader,
+    load_layout_file,
+    source_digest,
+)
+from repro.masks.geometry import Polygon, Rect
+from repro.masks.io import save_layout
+from repro.masks.layout import Layout
+from repro.optics.simulator import OpticsConfig
+from repro.sweep import (
+    CampaignStore,
+    FocusExposureGrid,
+    ProcessWindowSweep,
+    layout_digest,
+)
+
+
+def random_layout(seed: int = 0, extent_nm: float = 768.0,
+                  shapes: int = 120) -> Layout:
+    rng = np.random.default_rng(seed)
+    layout = Layout(extent_nm=extent_nm)
+    for _ in range(shapes):
+        x, y = rng.uniform(0, extent_nm - 64, 2)
+        w, h = rng.uniform(16, 90, 2)
+        layout.add("m1", Rect(float(x), float(y), float(w), float(h)))
+    return layout
+
+
+@pytest.fixture(scope="module")
+def geometry_reader() -> GeometryLayoutReader:
+    return GeometryLayoutReader.from_layout(random_layout(), shape=(96, 96))
+
+
+@pytest.fixture(scope="module")
+def dense(geometry_reader) -> np.ndarray:
+    return geometry_reader.materialise()
+
+
+class TestArrayLayoutReader:
+    def test_windows_equal_dense_slices(self):
+        rng = np.random.default_rng(3)
+        dense = rng.random((40, 56))
+        reader = ArrayLayoutReader(dense)
+        assert reader.shape == (40, 56)
+        assert is_layout_reader(reader)
+        np.testing.assert_array_equal(reader.read_window(4, 8, 10, 12),
+                                      dense[4:14, 8:20])
+
+    def test_out_of_bounds_is_zero_padded(self):
+        dense = np.ones((8, 8))
+        reader = ArrayLayoutReader(dense)
+        window = reader.read_window(-2, 6, 4, 4)
+        assert window.shape == (4, 4)
+        assert window[:2].sum() == 0          # above the layout
+        assert window[2:, 2:].sum() == 0      # right of the layout
+        np.testing.assert_array_equal(window[2:, :2], 1.0)
+        assert reader.read_window(100, 100, 4, 4).sum() == 0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            ArrayLayoutReader(np.zeros(5))
+        with pytest.raises(ValueError):
+            ArrayLayoutReader(np.zeros((4, 4))).read_window(0, 0, 0, 4)
+
+    def test_digest_matches_store_layout_digest(self):
+        """Dense campaign identity is unchanged: same hash either spelling."""
+        dense = np.arange(12.0).reshape(3, 4)
+        assert ArrayLayoutReader(dense).digest() == layout_digest(dense)
+        assert source_digest(dense) == array_digest(dense)
+
+    def test_as_layout_reader_passthrough(self, geometry_reader):
+        assert as_layout_reader(geometry_reader) is geometry_reader
+        coerced = as_layout_reader(np.zeros((4, 4)))
+        assert isinstance(coerced, ArrayLayoutReader)
+
+
+class TestGeometryLayoutReader:
+    def test_full_window_equals_dense_rasterize(self):
+        layout = random_layout(seed=7)
+        reader = GeometryLayoutReader.from_layout(layout, shape=(128, 128))
+        np.testing.assert_array_equal(reader.read_window(0, 0, 128, 128),
+                                      layout.rasterize("m1", 128))
+
+    @given(row=st.integers(-16, 120), col=st.integers(-16, 120),
+           height=st.integers(1, 64), width=st.integers(1, 64))
+    @settings(max_examples=25, deadline=None)
+    def test_any_window_equals_dense_window(self, geometry_reader, dense,
+                                            row, col, height, width):
+        np.testing.assert_array_equal(
+            geometry_reader.read_window(row, col, height, width),
+            ArrayLayoutReader(dense).read_window(row, col, height, width))
+
+    def test_window_queries_touch_o_window_shapes(self, geometry_reader):
+        """A tile-sized window touches a small fraction of the index."""
+        geometry_reader.read_window(32, 32, 24, 24)
+        assert 0 < geometry_reader.last_candidates < \
+            geometry_reader.shape_count() / 2
+
+    def test_polygons_decompose_and_rasterise(self):
+        poly = Polygon(((0, 0), (40, 0), (40, 16), (16, 16), (16, 40),
+                        (0, 40)))
+        reader = GeometryLayoutReader({"m": [poly]}, pixel_size_nm=4.0,
+                                      extent_nm=64.0)
+        from repro.masks.geometry import rasterize
+
+        np.testing.assert_array_equal(reader.read_window(0, 0, 16, 16),
+                                      rasterize(poly.to_rects(), 16, 4.0))
+
+    def test_layer_selection_unions_only_chosen_layers(self):
+        shapes = {"a": [Rect(0, 0, 32, 32)], "b": [Rect(32, 32, 32, 32)]}
+        both = GeometryLayoutReader(shapes, pixel_size_nm=8.0, extent_nm=64.0)
+        only_a = GeometryLayoutReader(shapes, pixel_size_nm=8.0,
+                                      extent_nm=64.0, layers=("a",))
+        assert both.materialise().sum() == 32
+        assert only_a.materialise().sum() == 16
+
+    def test_digest_is_canonical(self):
+        layout = random_layout(seed=11, shapes=40)
+        reversed_layout = Layout(extent_nm=layout.extent_nm)
+        for shape in reversed(layout.shapes("m1")):
+            reversed_layout.add("m1", shape)
+        make = lambda lay: GeometryLayoutReader.from_layout(lay, shape=(64, 64))
+        assert make(layout).digest() == make(reversed_layout).digest()
+        # shapes that rasterise outside the raster do not perturb identity
+        outside = Layout(extent_nm=layout.extent_nm)
+        for shape in layout.shapes("m1"):
+            outside.add("m1", shape)
+        outside.add("m1", Rect(10_000.0, 10_000.0, 5.0, 5.0))
+        assert make(outside).digest() == make(layout).digest()
+        # but real content changes do
+        changed = Layout(extent_nm=layout.extent_nm)
+        for shape in layout.shapes("m1"):
+            changed.add("m1", shape)
+        changed.add("m1", Rect(8.0, 8.0, 64.0, 64.0))
+        assert make(changed).digest() != make(layout).digest()
+        # bucket size is a performance knob, never identity
+        fine = GeometryLayoutReader.from_layout(layout, shape=(64, 64),
+                                                bucket_px=16)
+        assert fine.digest() == make(layout).digest()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GeometryLayoutReader({}, pixel_size_nm=4.0)  # no shape/extent
+        with pytest.raises(ValueError):
+            GeometryLayoutReader({}, pixel_size_nm=0.0, extent_nm=64.0)
+        with pytest.raises(ValueError):
+            GeometryLayoutReader({}, pixel_size_nm=4.0, extent_nm=64.0,
+                                 bucket_px=0)
+
+
+class TestLayoutFiles:
+    def test_json_roundtrip_with_polygons(self, tmp_path):
+        layout = Layout(extent_nm=256.0)
+        layout.add("m1", Rect(16, 16, 64, 32))
+        path = save_layout(layout, str(tmp_path / "chip.json"))
+        document = json.loads(open(path).read())
+        document["polygons"] = {"m1": [[[0, 200], [48, 200], [48, 224],
+                                        [24, 224], [24, 240], [0, 240]]]}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        reader = load_layout_file(path, pixel_size_nm=8.0)
+        assert reader.shape == (32, 32)
+        assert reader.shape_count() > 1  # rect + decomposed polygon
+        # the rect occupies 8x4 px starting at (2, 2)
+        np.testing.assert_array_equal(
+            reader.read_window(2, 2, 4, 8), 1.0)
+
+    def test_gds_text_loader(self, tmp_path):
+        path = tmp_path / "chip.gdstxt"
+        path.write_text("\n".join([
+            "HEADER 600", "BGNLIB", "UNITS 0.001 1e-9", "BGNSTR",
+            "STRNAME TOP",
+            "BOUNDARY", "LAYER 1",
+            "XY 0 0 128 0 128 64 0 64 0 0", "ENDEL",
+            "BOUNDARY", "LAYER 2",
+            "XY 160 160 224 160 224 224 160 224 160 160", "ENDEL",
+            "ENDSTR", "ENDLIB"]))
+        reader = load_layout_file(str(path), pixel_size_nm=8.0)
+        assert sorted(reader.layers) == ["1", "2"]
+        assert reader.shape == (28, 28)  # bounding box 224 nm, ceil / 8
+        assert int(reader.materialise().sum()) == 16 * 8 + 8 * 8
+
+    def test_binary_gds_rejected_with_clear_error(self, tmp_path):
+        path = tmp_path / "chip.gds"
+        # a real binary GDSII header: record length / HEADER / version words
+        path.write_bytes(bytes([0, 6, 0, 2, 2, 0x58]) + b"\x00\x1c\x01\x02")
+        with pytest.raises(ValueError, match="binary GDSII"):
+            load_layout_file(str(path), pixel_size_nm=8.0)
+
+    def test_suffix_dispatch_and_errors(self, tmp_path):
+        assert is_layout_file("chip.json")
+        assert is_layout_file("chip.gdstxt")
+        assert not is_layout_file("chip.npz")
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError):
+            load_layout_file(str(bad), pixel_size_nm=8.0)
+        empty = tmp_path / "empty.gdstxt"
+        empty.write_text("HEADER 600\n")
+        with pytest.raises(ValueError):
+            load_layout_file(str(empty), pixel_size_nm=8.0)
+        with pytest.raises(FileNotFoundError):
+            load_layout_file(str(tmp_path / "missing.json"), pixel_size_nm=8.0)
+
+
+class TestEngineWiring:
+    """Reader-fed imaging == dense-array imaging, bit for bit."""
+
+    def test_extract_tiles_reader_equals_dense(self, geometry_reader, dense):
+        spec = TilingSpec(tile_px=32, guard_px=8)
+        reader_tiles, reader_places = extract_tiles(geometry_reader, spec)
+        dense_tiles, dense_places = extract_tiles(dense, spec)
+        assert reader_places == dense_places
+        np.testing.assert_array_equal(reader_tiles, dense_tiles)
+
+    def test_iter_tile_batches_accepts_reader(self, geometry_reader, dense):
+        spec = TilingSpec(tile_px=32, guard_px=8)
+        placements = plan_tiles(*geometry_reader.shape, spec)
+        batches = [tiles for tiles, _ in
+                   iter_tile_batches(geometry_reader, placements, spec, 3)]
+        stacked = np.concatenate(batches, axis=0)
+        dense_tiles, _ = extract_tiles(dense, spec)
+        np.testing.assert_array_equal(stacked, dense_tiles)
+
+    @pytest.mark.parametrize("backend_name,precision", [
+        ("numpy", "float64"), ("numpy", "float32"),
+        ("scipy", "float64"), ("scipy", "float32"),
+    ])
+    def test_engine_image_layout_bitwise(self, geometry_reader, dense,
+                                         backend_name, precision):
+        if backend_name == "scipy":
+            pytest.importorskip("scipy.fft")
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        engine = ExecutionEngine.for_optics(config, fft_backend=backend_name,
+                                            precision=precision)
+        ref = engine.image_layout(dense, tile_px=32, guard_px=8)
+        for kwargs in ({}, {"streaming": True}, {"batch_tiles": 2}):
+            imaged = engine.image_layout(geometry_reader, tile_px=32,
+                                         guard_px=8, **kwargs)
+            assert imaged.num_tiles == ref.num_tiles
+            np.testing.assert_array_equal(np.asarray(imaged.aerial),
+                                          ref.aerial)
+            np.testing.assert_array_equal(np.asarray(imaged.resist),
+                                          ref.resist)
+
+    def test_engine_reader_memmap_out_dir(self, geometry_reader, dense,
+                                          tmp_path):
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        engine = ExecutionEngine.for_optics(config)
+        ref = engine.image_layout(dense, tile_px=32, guard_px=8)
+        out = engine.image_layout(geometry_reader, tile_px=32, guard_px=8,
+                                  out_dir=str(tmp_path / "stream"))
+        np.testing.assert_array_equal(np.asarray(out.aerial), ref.aerial)
+        assert os.path.exists(tmp_path / "stream" / "meta.json")
+
+    def test_sharded_image_layout_bitwise(self, geometry_reader, dense):
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        engine = ExecutionEngine.for_optics(config)
+        ref = engine.image_layout(dense, tile_px=32, guard_px=8)
+        with ShardedExecutor(num_workers=1) as executor:
+            imaged = executor.image_layout(EngineSpec(config=config),
+                                           geometry_reader, tile_px=32,
+                                           guard_px=8)
+        np.testing.assert_array_equal(np.asarray(imaged.aerial), ref.aerial)
+
+
+class TestSweepWiring:
+    def test_sweep_reader_equals_dense(self, geometry_reader, dense):
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        grid = FocusExposureGrid(focus_values_nm=(-40.0, 0.0, 40.0),
+                                 dose_values=(0.95, 1.0, 1.05))
+        via_reader = ProcessWindowSweep(config).run(geometry_reader,
+                                                    grid=grid, guard_px=8)
+        via_dense = ProcessWindowSweep(config).run(dense, grid=grid,
+                                                   guard_px=8)
+        assert via_reader.window == via_dense.window
+
+    def test_multi_tile_reader_takes_streaming_path(self, geometry_reader,
+                                                    monkeypatch):
+        """Readers must never materialise the full tile stack in a sweep."""
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        sweep = ProcessWindowSweep(config)
+        streaming_flags = []
+        original = type(sweep.executor).image_layout
+
+        def spy(self, spec, layout, **kwargs):
+            streaming_flags.append(kwargs.get("streaming"))
+            return original(self, spec, layout, **kwargs)
+
+        monkeypatch.setattr(type(sweep.executor), "image_layout", spy)
+        grid = FocusExposureGrid(focus_values_nm=(0.0,), dose_values=(1.0,))
+        sweep.run(geometry_reader, grid=grid, guard_px=8)
+        assert streaming_flags and all(streaming_flags)
+
+    def test_campaign_identity_uses_reader_digest(self, geometry_reader,
+                                                  tmp_path):
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        grid = FocusExposureGrid(focus_values_nm=(0.0,), dose_values=(1.0,))
+        store = CampaignStore(str(tmp_path / "campaign"))
+        ProcessWindowSweep(config).run(geometry_reader, grid=grid, guard_px=8,
+                                       store=store)
+        manifest = CampaignStore(str(tmp_path / "campaign")).read_manifest()
+        assert manifest["campaign"]["layout_sha256"] == \
+            geometry_reader.digest()
+        assert manifest["campaign"]["layout_shape"] == \
+            list(geometry_reader.shape)
+
+    def test_reader_campaign_resumes_without_recompute(self, geometry_reader,
+                                                       tmp_path):
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        grid = FocusExposureGrid(focus_values_nm=(-40.0, 0.0),
+                                 dose_values=(1.0, 1.05))
+        store_dir = str(tmp_path / "campaign")
+        first = ProcessWindowSweep(config).run(geometry_reader, grid=grid,
+                                               guard_px=8, store=store_dir)
+        assert first.computed_conditions == len(grid)
+        again = ProcessWindowSweep(config).run(geometry_reader, grid=grid,
+                                               guard_px=8, store=store_dir)
+        assert again.computed_conditions == 0
+        assert again.skipped_conditions == len(grid)
+        assert again.window == first.window
+
+    def test_single_tile_reader(self):
+        layout = Layout(extent_nm=256.0)
+        layout.add("m1", Rect(32, 64, 192, 96))
+        reader = GeometryLayoutReader.from_layout(layout, shape=(32, 32))
+        config = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+        grid = FocusExposureGrid(focus_values_nm=(0.0,), dose_values=(1.0,))
+        via_reader = ProcessWindowSweep(config).run(reader, grid=grid)
+        via_dense = ProcessWindowSweep(config).run(reader.materialise(),
+                                                   grid=grid)
+        assert via_reader.window == via_dense.window
+        assert via_reader.num_tiles == 1

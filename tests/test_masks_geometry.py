@@ -70,6 +70,53 @@ class TestPolygon:
         total_area = sum(r.area for r in rects)
         assert total_area == pytest.approx(20 * 10 + 10 * 10)
 
+    def test_concave_u_shape_decomposition(self):
+        # U-shape: 30-wide, 20-tall block with a 10x10 notch cut from the
+        # top middle — concave, needs two spans in the middle slab.
+        vertices = ((0, 0), (30, 0), (30, 20), (20, 20), (20, 10),
+                    (10, 10), (10, 20), (0, 20))
+        rects = Polygon(vertices).to_rects()
+        assert sum(r.area for r in rects) == pytest.approx(30 * 20 - 10 * 10)
+        # the notch interior stays empty: no rect covers its centre
+        assert not any(r.x < 15 < r.x2 and r.y < 15 < r.y2 for r in rects)
+
+    def test_t_shape_decomposition(self):
+        vertices = ((0, 0), (30, 0), (30, 10), (20, 10), (20, 30),
+                    (10, 30), (10, 10), (0, 10))
+        rects = Polygon(vertices).to_rects()
+        assert sum(r.area for r in rects) == pytest.approx(30 * 10 + 10 * 20)
+
+    def test_degenerate_collinear_polygon_decomposes_to_nothing(self):
+        # all vertices on one vertical line: zero-width slabs everywhere
+        assert Polygon(((5, 0), (5, 10), (5, 20))).to_rects() == []
+        # all vertices on one horizontal line: crossings collapse
+        assert Polygon(((0, 5), (10, 5), (20, 5))).to_rects() == []
+
+    def test_zero_area_span_is_skipped_not_raised(self):
+        # A pinched bowtie-like ring whose middle slab has coincident
+        # crossings: the zero-area span must be skipped, not crash Rect.
+        vertices = ((0, 0), (10, 0), (10, 10), (20, 10), (20, 0),
+                    (30, 0), (30, 10), (0, 10))
+        rects = Polygon(vertices).to_rects()
+        assert all(r.area > 0 for r in rects)
+        assert sum(r.area for r in rects) == pytest.approx(10 * 10 + 10 * 10)
+
+    def test_zero_height_notch_polygon(self):
+        # A rectangle with a zero-height slit recorded in the outline:
+        # degrades to the plain rectangle instead of raising.
+        vertices = ((0, 0), (30, 0), (30, 10), (15, 10), (15, 10),
+                    (0, 10))
+        rects = Polygon(vertices).to_rects()
+        assert sum(r.area for r in rects) == pytest.approx(30 * 10)
+
+    def test_decomposition_matches_rasterisation(self):
+        # The layout reader leans on to_rects: its rasterised union must
+        # equal rasterising the same outline's area directly.
+        vertices = ((0, 0), (40, 0), (40, 16), (16, 16), (16, 40), (0, 40))
+        rects = Polygon(vertices).to_rects()
+        mask = rasterize(rects, tile_size_px=10, pixel_size_nm=4.0)
+        assert mask.sum() == pytest.approx((40 * 16 + 16 * 24) / 16.0)
+
 
 class TestRasterize:
     def test_full_tile_rectangle(self):

@@ -198,7 +198,8 @@ def command_image_layout(arguments) -> int:
         config, source=source,
         fft_backend=arguments.fft_backend or None,
         fft_workers=arguments.fft_workers or None,
-        precision=arguments.precision or None)
+        precision=arguments.precision or None,
+        tile_cache=arguments.tile_cache)
 
     start = time.perf_counter()
     result = engine.image_layout(mask, tile_px=arguments.tile_size,
@@ -217,6 +218,11 @@ def command_image_layout(arguments) -> int:
           f"guard {result.tiling.guard_px} px) in {elapsed:.2f} s "
           f"({area_um2 / max(elapsed, 1e-9):.1f} um^2/s) "
           f"[{engine.backend.name} backend, {engine.precision.name}]")
+    if engine.tile_cache is not None:
+        stats = engine.tile_cache.stats
+        print(f"tile cache: {stats.served}/{stats.tiles} tiles served from "
+              f"cache ({stats.hit_rate * 100:.1f}% hit rate, "
+              f"{stats.misses} imaged)")
     if arguments.out:
         print(f"aerial / resist memmaps written to {arguments.out}/ "
               f"(aerial.npy, resist.npy, meta.json)")
@@ -285,7 +291,8 @@ def _run_sweep_window(arguments, grid, num_workers: int,
     config = OpticsConfig(tile_size_px=arguments.tile_size,
                           pixel_size_nm=arguments.pixel_size_nm)
     source = make_source(arguments.source) if arguments.source else None
-    with ShardedExecutor(num_workers=num_workers, cache_dir=cache_dir) as executor:
+    with ShardedExecutor(num_workers=num_workers, cache_dir=cache_dir,
+                         tile_cache=arguments.tile_cache) as executor:
         sweep = ProcessWindowSweep(
             config, source=source, executor=executor,
             fft_backend=arguments.fft_backend or None,
@@ -332,15 +339,23 @@ def _run_sweep_window(arguments, grid, num_workers: int,
         print(f"campaign store: {outcome.store_dir} "
               f"({outcome.computed_conditions} computed, "
               f"{outcome.skipped_conditions} resumed)")
+    if executor.tile_cache is not None:
+        stats = executor.tile_cache.stats
+        print(f"tile cache: {stats.served}/{stats.tiles} tiles served from "
+              f"cache ({stats.hit_rate * 100:.1f}% hit rate, "
+              f"{stats.misses} imaged)")
     print()
     print(outcome.cd_table())
     print()
     print(outcome.summary())
 
     if arguments.compare_serial and executor.num_workers > 1:
+        # tile_cache=False: the serial comparator must re-image everything,
+        # or a shared default cache would make the speedup read as ~1x.
         serial_sweep = ProcessWindowSweep(
             config, source=source,
-            executor=ShardedExecutor(num_workers=1, cache_dir=cache_dir),
+            executor=ShardedExecutor(num_workers=1, cache_dir=cache_dir,
+                                     tile_cache=False),
             fft_backend=arguments.fft_backend or None,
             fft_workers=arguments.fft_workers or None,
             precision=arguments.precision or None)
@@ -433,6 +448,15 @@ def _add_compute_options(parser: argparse.ArgumentParser) -> None:
                         help="imaging precision; float32 halves memory traffic "
                              "and doubles the chunked batch size "
                              "(default: REPRO_PRECISION or float64)")
+    parser.add_argument("--tile-cache", action=argparse.BooleanOptionalAction,
+                        default=None,
+                        help="content-addressed tile-result cache: image each "
+                             "unique guard-banded tile once, stitch every "
+                             "repeat from the cache (bit-for-bit identical); "
+                             "default: on when REPRO_TILE_CACHE or "
+                             "REPRO_TILE_CACHE_DIR is set, else off; "
+                             "REPRO_TILE_CACHE_DIR adds a disk tier that "
+                             "persists across runs")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -16,12 +16,17 @@ throughput benchmarks — runs through this package:
   the three together,
 * :mod:`repro.engine.streaming` — out-of-core layout imaging: generator-fed
   tile batches, bounded-memory imaging, incremental stitch into preallocated
-  (optionally memmapped) outputs — bit-for-bit the in-memory result, and
+  (optionally memmapped) outputs — bit-for-bit the in-memory result,
 * :mod:`repro.engine.sharded` — multiprocess sharding of tile batches
   (:class:`ShardedExecutor`), with workers warmed from the disk-backed
   kernel cache, a deterministic bit-identical stitch order, and
   (focus, shard) campaign scheduling over one shared pool
-  (:meth:`ShardedExecutor.campaign_aerials`).
+  (:meth:`ShardedExecutor.campaign_aerials`), and
+* :mod:`repro.engine.tile_cache` — the content-addressed tile-result cache
+  (:class:`TileResultCache`): each *unique* guard-banded tile content is
+  imaged once per (kernel bank, backend, precision, geometry) and every
+  repeat — including all-zero tiles, served constant-time — is stitched
+  from the cache, bit-for-bit the uncached result.
 
 Every FFT and dtype decision is delegated to the compute-backend layer in
 :mod:`repro.backend`: engines accept ``fft_backend`` / ``fft_workers`` /
@@ -77,6 +82,16 @@ from .streaming import (
     open_layout_dir,
     stream_image_layout,
 )
+from .tile_cache import (
+    ZERO_TILE_DIGEST,
+    TileCacheContext,
+    TileCacheStats,
+    TileResultCache,
+    configure_default_tile_cache,
+    default_tile_cache,
+    resolve_tile_cache,
+    tile_digest,
+)
 from .tiling import (
     TilePlacement,
     TilingSpec,
@@ -97,6 +112,9 @@ __all__ = [
     "ExecutionEngine", "LayoutImage",
     "EngineSpec", "ShardedExecutor", "available_workers",
     "iter_tile_batches", "open_layout_dir", "stream_image_layout",
+    "ZERO_TILE_DIGEST", "TileCacheContext", "TileCacheStats",
+    "TileResultCache", "configure_default_tile_cache", "default_tile_cache",
+    "resolve_tile_cache", "tile_digest",
     "TilingSpec", "TilePlacement", "default_guard_px",
     "plan_tiles", "extract_tiles", "extract_tile_batch",
     "stitch_into", "stitch_tiles",

@@ -23,6 +23,7 @@ learned Nitho kernels, anything of shape ``(r, n, m)`` — and provides:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
@@ -37,7 +38,15 @@ from .batched import (
 )
 from .cache import KernelBankCache, default_kernel_cache
 from .streaming import stream_image_layout
-from .tiling import TilingSpec, default_guard_px, extract_tiles, stitch_tiles
+from .tile_cache import TileCacheContext, resolve_tile_cache
+from .tiling import (
+    TilingSpec,
+    default_guard_px,
+    extract_tile_batch,
+    extract_tiles,
+    plan_tiles,
+    stitch_tiles,
+)
 
 
 @dataclass(frozen=True)
@@ -69,7 +78,8 @@ class ExecutionEngine:
                  max_chunk_bytes: int = DEFAULT_MAX_CHUNK_BYTES,
                  fft_backend: Optional[Union[FFTBackend, str]] = None,
                  fft_workers: Optional[int] = None,
-                 precision: Optional[Union[Precision, str]] = None):
+                 precision: Optional[Union[Precision, str]] = None,
+                 tile_cache=None):
         kernels = np.asarray(kernels)
         if kernels.ndim != 3:
             raise ValueError("kernels must have shape (r, n, m)")
@@ -93,6 +103,11 @@ class ExecutionEngine:
         self.tile_size_px = tile_size_px
         self.band_limited = band_limited
         self.max_chunk_bytes = max_chunk_bytes
+        #: Content-addressed tile-result cache (None = caching off).  A
+        #: TileResultCache instance / True / False / None — None consults
+        #: REPRO_TILE_CACHE / REPRO_TILE_CACHE_DIR (see resolve_tile_cache).
+        self.tile_cache = resolve_tile_cache(tile_cache)
+        self._kernel_fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
     # construction
@@ -147,11 +162,42 @@ class ExecutionEngine:
                           band_limited=self.band_limited,
                           max_chunk_bytes=self.max_chunk_bytes,
                           fft_backend=self.backend,
-                          precision=self.precision)
+                          precision=self.precision,
+                          tile_cache=self.tile_cache
+                          if self.tile_cache is not None else False)
 
     def kernel_energy(self) -> np.ndarray:
         """Per-kernel energy ``sum |K_i|^2`` — proportional to the SOCS eigenvalues."""
         return np.sum(np.abs(self.kernels) ** 2, axis=(1, 2))
+
+    def kernel_fingerprint(self) -> str:
+        """Content hash of the kernel bank (+ band limiting), computed once.
+
+        Identifies everything about *this engine's kernels* that determines
+        an aerial tile: the bank's values (which already encode optics,
+        truncation order and precision — the bank is cast at construction)
+        and the band-limited evaluation mode.  Chunk size and the resist
+        threshold are excluded: the former never changes results (pinned),
+        the latter only affects development.  This is the kernel component
+        of the tile-result cache key, so two engines sharing a bank share
+        cached tiles.
+        """
+        if self._kernel_fingerprint is None:
+            bank = np.ascontiguousarray(self.kernels)
+            digest = hashlib.sha1()
+            digest.update(f"{bank.shape}|{bank.dtype.str}|".encode("utf-8"))
+            digest.update(bank.tobytes())
+            digest.update(f"|band={self.band_limited}".encode("utf-8"))
+            self._kernel_fingerprint = digest.hexdigest()
+        return self._kernel_fingerprint
+
+    def tile_cache_context(self, tiling: TilingSpec) -> TileCacheContext:
+        """The non-content components of this engine's tile-cache key."""
+        return TileCacheContext(kernel_fingerprint=self.kernel_fingerprint(),
+                                backend=self.backend.name,
+                                precision=self.precision.name,
+                                tile_px=tiling.tile_px,
+                                guard_px=tiling.guard_px)
 
     # ------------------------------------------------------------------ #
     # imaging
@@ -282,13 +328,24 @@ class ExecutionEngine:
                 layout, tiling, self.aerial_batch, self.resist_model.develop,
                 self.precision.real_dtype, batch_tiles, out_dir=out_dir,
                 meta={"backend": self.backend.name,
-                      "precision": self.precision.name})
+                      "precision": self.precision.name},
+                tile_cache=self.tile_cache,
+                cache_context=self.tile_cache_context(tiling)
+                if self.tile_cache is not None else None)
             return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,
                                num_tiles=num_tiles, out_dir=out_dir)
 
         height, width = layout.shape
-        tiles, placements = extract_tiles(layout, tiling)
-        aerial_tiles = self.aerial_batch(tiles)
+        if self.tile_cache is not None:
+            placements = plan_tiles(height, width, tiling)
+            tiles, digests = extract_tile_batch(layout, placements, tiling,
+                                                with_digests=True)
+            aerial_tiles = self.tile_cache.image_tile_batch(
+                tiles, digests, self.aerial_batch,
+                self.tile_cache_context(tiling))
+        else:
+            tiles, placements = extract_tiles(layout, tiling)
+            aerial_tiles = self.aerial_batch(tiles)
         aerial = stitch_tiles(aerial_tiles, placements, height, width, tiling)
         resist = self.resist_model.develop(aerial)
         return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,

@@ -46,7 +46,9 @@ from .batched import DEFAULT_MAX_CHUNK_BYTES
 from .cache import KernelBankCache, default_kernel_cache, optics_fingerprint
 from .execution import ExecutionEngine, LayoutImage
 from .streaming import stream_image_layout
-from .tiling import TilingSpec, extract_tiles, stitch_tiles
+from .tile_cache import resolve_tile_cache
+from .tiling import TilingSpec, extract_tile_batch, extract_tiles, \
+    plan_tiles, stitch_tiles
 
 
 @dataclass(frozen=True)
@@ -204,11 +206,19 @@ class ShardedExecutor:
     min_shard_tiles:
         Smallest shard worth shipping to a worker; batches below
         ``2 * min_shard_tiles`` run serially.
+    tile_cache:
+        Content-addressed tile-result cache for :meth:`image_layout`
+        (instance / ``True`` / ``False`` / ``None`` — ``None`` consults
+        ``REPRO_TILE_CACHE`` / ``REPRO_TILE_CACHE_DIR``).  Deduplication
+        happens **parent-side**, before any shard is cut: workers image only
+        first-occurrence unique tiles and never see the cache, so the
+        sharded == serial bit-for-bit guarantee is untouched.
     """
 
     def __init__(self, num_workers: Optional[int] = None,
                  cache_dir: Optional[str] = None,
-                 mp_context=None, min_shard_tiles: int = 1):
+                 mp_context=None, min_shard_tiles: int = 1,
+                 tile_cache=None):
         if num_workers is not None and num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if min_shard_tiles < 1:
@@ -217,6 +227,7 @@ class ShardedExecutor:
         self.cache_dir = cache_dir if cache_dir is not None else \
             os.environ.get("REPRO_KERNEL_CACHE_DIR")
         self.min_shard_tiles = int(min_shard_tiles)
+        self.tile_cache = resolve_tile_cache(tile_cache)
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
         self._local_engines: "OrderedDict[str, ExecutionEngine]" = OrderedDict()
@@ -475,13 +486,27 @@ class ShardedExecutor:
                 batch_tiles, out_dir=out_dir,
                 meta={"backend": engine.backend.name,
                       "precision": engine.precision.name,
-                      "num_workers": self.num_workers})
+                      "num_workers": self.num_workers},
+                tile_cache=self.tile_cache,
+                cache_context=engine.tile_cache_context(tiling)
+                if self.tile_cache is not None else None)
             return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,
                                num_tiles=num_tiles, out_dir=out_dir)
 
         height, width = layout.shape
-        tiles, placements = extract_tiles(layout, tiling)
-        aerial_tiles = self.aerial_batch(spec, tiles)
+        if self.tile_cache is not None:
+            # Dedup in the parent, before sharding: the pool images only the
+            # unique survivors, so repeated cells never cross a process
+            # boundary twice.
+            placements = plan_tiles(height, width, tiling)
+            tiles, digests = extract_tile_batch(layout, placements, tiling,
+                                                with_digests=True)
+            aerial_tiles = self.tile_cache.image_tile_batch(
+                tiles, digests, lambda unique: self.aerial_batch(spec, unique),
+                engine.tile_cache_context(tiling))
+        else:
+            tiles, placements = extract_tiles(layout, tiling)
+            aerial_tiles = self.aerial_batch(spec, tiles)
         aerial = stitch_tiles(aerial_tiles, placements, height, width, tiling)
         resist = engine.resist_model.develop(aerial)
         return LayoutImage(aerial=aerial, resist=resist, tiling=tiling,

@@ -65,6 +65,7 @@ META_FILE = "meta.json"
 def iter_tile_batches(layout,
                       placements: Sequence[TilePlacement],
                       spec: TilingSpec, batch_tiles: int,
+                      with_digests: bool = False,
                       ) -> Iterator[Tuple[np.ndarray, List[TilePlacement]]]:
     """Yield ``(tiles, placements)`` batches of at most ``batch_tiles`` tiles.
 
@@ -73,12 +74,22 @@ def iter_tile_batches(layout,
     a windowed :class:`repro.layout.LayoutReader` — with a reader the tiles
     are rasterised window-by-window and the dense raster never exists, so
     peak RAM for layout data is O(one batch) end to end.
+
+    With ``with_digests=True`` each batch is a ``(tiles, digests,
+    placements)`` triple — per-tile content digests for the tile-result
+    cache, computed during extraction so the tiles are hashed while still
+    hot in cache (see :func:`~repro.engine.tiling.extract_tile_batch`).
     """
     if batch_tiles < 1:
         raise ValueError("batch_tiles must be at least 1")
     for start in range(0, len(placements), batch_tiles):
         subset = list(placements[start:start + batch_tiles])
-        yield extract_tile_batch(layout, subset, spec), subset
+        if with_digests:
+            tiles, digests = extract_tile_batch(layout, subset, spec,
+                                                with_digests=True)
+            yield tiles, digests, subset
+        else:
+            yield extract_tile_batch(layout, subset, spec), subset
 
 
 def _preallocate(out_dir: Optional[str], name: str, shape: Tuple[int, int],
@@ -98,6 +109,7 @@ def stream_image_layout(layout, tiling: TilingSpec,
                         real_dtype, batch_tiles: int,
                         out_dir: Optional[str] = None,
                         meta: Optional[dict] = None,
+                        tile_cache=None, cache_context=None,
                         ) -> Tuple[np.ndarray, np.ndarray, int]:
     """Image a layout tile-stream into preallocated aerial / resist rasters.
 
@@ -116,6 +128,13 @@ def stream_image_layout(layout, tiling: TilingSpec,
     out_dir:
         When given, aerial / resist become disk-backed memmaps in the
         documented directory layout and ``meta.json`` is written on success.
+    tile_cache / cache_context:
+        Optional :class:`~repro.engine.tile_cache.TileResultCache` plus its
+        :class:`~repro.engine.tile_cache.TileCacheContext`: each batch is
+        deduplicated to its unique tile contents, ``image_batch`` sees only
+        first-occurrence misses, and results are scattered back before the
+        stitch — bit-for-bit the uncached stream (per-tile FFT work is
+        independent of batch composition).
 
     Returns ``(aerial, resist, num_tiles)``; the arrays are memmaps when
     ``out_dir`` was given (flushed before returning).  ``layout`` may be a
@@ -131,10 +150,19 @@ def stream_image_layout(layout, tiling: TilingSpec,
     aerial = _preallocate(out_dir, AERIAL_FILE, (height, width), real_dtype)
     resist = _preallocate(out_dir, RESIST_FILE, (height, width), np.uint8)
 
+    if tile_cache is not None and cache_context is None:
+        raise ValueError("tile_cache requires a cache_context")
+
     guard = tiling.guard_px
-    for tiles, subset in iter_tile_batches(layout, placements, tiling,
-                                           batch_tiles):
-        aerial_tiles = image_batch(tiles)
+    for batch in iter_tile_batches(layout, placements, tiling, batch_tiles,
+                                   with_digests=tile_cache is not None):
+        if tile_cache is not None:
+            tiles, digests, subset = batch
+            aerial_tiles = tile_cache.image_tile_batch(
+                tiles, digests, image_batch, cache_context)
+        else:
+            tiles, subset = batch
+            aerial_tiles = image_batch(tiles)
         stitch_into(aerial, aerial_tiles, subset, tiling)
         # Development is elementwise, so the resist can be streamed from the
         # just-written aerial cores without ever thresholding the full raster.

@@ -87,7 +87,7 @@ def plan_tiles(height: int, width: int, spec: TilingSpec) -> List[TilePlacement]
 
 
 def extract_tile_batch(layout: np.ndarray, placements: Sequence[TilePlacement],
-                       spec: TilingSpec) -> np.ndarray:
+                       spec: TilingSpec, with_digests: bool = False):
     """Cut the guard-banded tiles of a subset of placements from a layout.
 
     The streaming path calls this once per bounded batch of placements, so a
@@ -98,6 +98,13 @@ def extract_tile_batch(layout: np.ndarray, placements: Sequence[TilePlacement],
     ``read_window`` method), in which case each guard-banded tile is
     rasterised on demand and the dense raster never exists.  Content beyond
     the layout boundary is zero (an empty reticle) on every path.
+
+    With ``with_digests=True`` the return value is ``(tiles, digests)``:
+    one content digest per tile for the tile-result cache
+    (:mod:`repro.engine.tile_cache`), with all-zero tiles tagged
+    ``ZERO_TILE_DIGEST``.  Readers exposing ``window_is_empty`` (both
+    bundled readers do) have their empty windows detected from geometry
+    alone — the window is zero-filled without being rasterised or hashed.
     """
     if not hasattr(layout, "read_window"):
         # Dense arrays speak the same protocol through the adapter, so the
@@ -107,12 +114,32 @@ def extract_tile_batch(layout: np.ndarray, placements: Sequence[TilePlacement],
 
         layout = ArrayLayoutReader(np.asarray(layout))
     tile, guard = spec.tile_px, spec.guard_px
-    tiles = np.zeros((len(placements), tile, tile),
+    # np.empty, not np.zeros: every row is fully overwritten below (pinned by
+    # tests/test_tile_cache.py), so the O(batch) memset would be pure waste.
+    tiles = np.empty((len(placements), tile, tile),
                      dtype=getattr(layout, "dtype", float))
+    if not with_digests:
+        for index, place in enumerate(placements):
+            tiles[index] = layout.read_window(place.row - guard,
+                                              place.col - guard, tile, tile)
+        return tiles
+    from .tile_cache import ZERO_TILE_DIGEST, tile_digest
+
+    window_is_empty = getattr(layout, "window_is_empty", None)
+    digests = []
     for index, place in enumerate(placements):
-        tiles[index] = layout.read_window(place.row - guard,
-                                          place.col - guard, tile, tile)
-    return tiles
+        row, col = place.row - guard, place.col - guard
+        if window_is_empty is not None and window_is_empty(row, col,
+                                                           tile, tile):
+            tiles[index] = 0.0
+            digests.append(ZERO_TILE_DIGEST)
+            continue
+        tiles[index] = layout.read_window(row, col, tile, tile)
+        if not tiles[index].any():
+            digests.append(ZERO_TILE_DIGEST)
+        else:
+            digests.append(tile_digest(tiles[index]))
+    return tiles, digests
 
 
 def extract_tiles(layout: np.ndarray, spec: TilingSpec,

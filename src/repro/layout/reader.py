@@ -134,6 +134,27 @@ class ArrayLayoutReader:
                 self._layout[src_top:src_bottom, src_left:src_right])
         return out
 
+    def window_is_empty(self, row: int, col: int, height: int,
+                        width: int) -> bool:
+        """True when the window rasterises to all zeros.
+
+        Same clipping arithmetic as :meth:`read_window`, but no window array
+        is allocated: the in-bounds slice is scanned in place (``.any()``
+        short-circuits on the first set pixel) and a window entirely outside
+        the layout is empty by definition.  Used by the tile-result cache's
+        zero-tile fast path.
+        """
+        if height <= 0 or width <= 0:
+            raise ValueError("window dimensions must be positive")
+        layout_h, layout_w = self.shape
+        src_top, src_left = max(row, 0), max(col, 0)
+        src_bottom = min(row + height, layout_h)
+        src_right = min(col + width, layout_w)
+        if src_bottom <= src_top or src_right <= src_left:
+            return True
+        return not self._layout[src_top:src_bottom,
+                                src_left:src_right].any()
+
     def digest(self) -> str:
         return array_digest(np.asarray(self._layout))
 

@@ -23,10 +23,19 @@ Campaign-scale features (PR 4):
 * **Out-of-core imaging** — ``streaming=True`` routes each focus through the
   generator-fed streaming stitch (:mod:`repro.engine.streaming`), bounding
   peak RAM at one tile batch regardless of layout size.
+* **Content-addressed tile dedup** (PR 6) — attach a tile-result cache to
+  the executor (``ShardedExecutor(tile_cache=True)``, the CLI's
+  ``--tile-cache``, or ``REPRO_TILE_CACHE`` / ``REPRO_TILE_CACHE_DIR``) and
+  each focus images only its *unique* tile contents (each focus's kernel
+  fingerprint keys its own namespace); with a disk tier, resumed runs hit
+  across processes, and the campaign store accumulates the hit/miss
+  counters in its manifest so ``campaign-report`` shows dedup
+  effectiveness with zero recomputation.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -174,6 +183,16 @@ class ProcessWindowSweep:
         the streaming path — materialising their full guard-banded tile
         stack would cost more memory than the dense raster they exist to
         avoid — mirroring ``ExecutionEngine.image_layout``.
+
+        An executor carrying a tile-result cache routes multi-tile foci
+        through :meth:`ShardedExecutor.image_layout` focus-by-focus too:
+        each focus's kernel fingerprint keys its own cache namespace, so
+        repeated cells within a focus hit (and a resumed campaign with a
+        disk tier hits across runs) while distinct foci never mix.  The
+        per-focus routing trades the (focus, shard) overlap of
+        ``campaign_aerials`` for the dedup — opt-in by construction, and on
+        repetitive layouts the dedup removes far more work than the overlap
+        recovers.
         """
         if not foci:
             return
@@ -184,11 +203,12 @@ class ProcessWindowSweep:
             for index, batch in self.executor.campaign_aerials(specs,
                                                               layout[None]):
                 yield foci[index], batch[0], 1
-        elif streaming:
+        elif streaming or getattr(self.executor, "tile_cache", None) \
+                is not None:
             for focus in foci:
                 imaged = self.executor.image_layout(
                     self.spec_for_focus(focus), layout, tile_px=tile_px,
-                    guard_px=guard_px, streaming=True)
+                    guard_px=guard_px, streaming=streaming)
                 yield focus, imaged.aerial, imaged.num_tiles
         else:
             engine = self.executor.warm(self.spec_for_focus(foci[0]))
@@ -269,6 +289,9 @@ class ProcessWindowSweep:
         state = {"num_tiles": 1, "cd_row": self.cd_row, "computed": 0}
         cds: Dict[Tuple[float, float], float] = {}
         aerials: Dict[float, np.ndarray] = {}
+        tile_cache = getattr(self.executor, "tile_cache", None)
+        cache_before = dataclasses.asdict(tile_cache.stats) \
+            if tile_cache is not None else None
 
         if store is not None:
             identity, _ = CampaignStore.campaign_identity(
@@ -346,6 +369,14 @@ class ProcessWindowSweep:
                                              streaming):
             handle_focus(*item)
         elapsed = time.perf_counter() - start
+
+        if store is not None and tile_cache is not None:
+            # This run's counter deltas accumulate in the manifest, so a
+            # resumed campaign's tile_cache block covers every run of it.
+            delta = {key: value - cache_before[key] for key, value
+                     in dataclasses.asdict(tile_cache.stats).items()}
+            if delta.get("tiles"):
+                store.record_tile_cache_stats(delta)
 
         if target_cd_nm is None and store is not None:
             target_cd_nm = store.get_derived("target_cd_nm")

@@ -40,6 +40,10 @@ class CampaignReport:
     derived: dict
     completed: Dict[str, dict]
     grid: FocusExposureGrid
+    #: Tile-result-cache counters accumulated by the sweep's runs (the
+    #: manifest's optional ``tile_cache`` block); ``None`` when the campaign
+    #: never ran with a cache attached.
+    tile_cache: Optional[dict] = None
 
     @property
     def total_conditions(self) -> int:
@@ -110,7 +114,8 @@ def load_campaign_report(store_dir: str) -> CampaignReport:
         campaign.get("focus_values_nm", ()), campaign.get("dose_values", ()))
     return CampaignReport(store_dir=str(store_dir), campaign=campaign,
                           derived=manifest.get("derived", {}),
-                          completed=manifest.get("completed", {}), grid=grid)
+                          completed=manifest.get("completed", {}), grid=grid,
+                          tile_cache=manifest.get("tile_cache"))
 
 
 def _format_cd_table(report: CampaignReport,
@@ -174,8 +179,17 @@ def render_campaign_report(report: CampaignReport,
         f"progress        : {report.completed_conditions}/"
         f"{report.total_conditions} conditions complete"
         + ("" if report.is_complete else " (campaign in progress)"),
-        "",
     ]
+    if report.tile_cache:
+        stats = report.tile_cache
+        tiles = int(stats.get("tiles", 0))
+        served = sum(int(stats.get(key, 0))
+                     for key in ("hits", "zero_hits", "disk_loads"))
+        rate = served / tiles * 100 if tiles else 0.0
+        lines.append(
+            f"tile cache      : {served}/{tiles} tiles served from cache "
+            f"({rate:.1f}% hit rate, {int(stats.get('misses', 0))} imaged)")
+    lines.append("")
     window = report.window()
     lines.append(_format_cd_table(report, window))
     if window is not None and window.points:

@@ -58,6 +58,11 @@ Manifest schema (``manifest.json``)
                                    # must survive a resume unchanged)
         "target_cd_nm": 45.0
       },
+      "tile_cache": {          # optional: tile-result-cache counters,
+        "tiles": 640, "hits": 560,   # summed across (resumed) runs so
+        "zero_hits": 40, "misses": 40,   # campaign-report shows dedup
+        "disk_loads": 0, "evictions": 0  # effectiveness from disk alone
+      },
       "completed": {           # condition id -> inline summary
         "f0.0_d1.0": {"focus_nm": 0.0, "dose": 1.0,
                        "cd_nm": 45.0, "file": "cond_f0.0_d1.0.npz"}
@@ -250,6 +255,26 @@ class CampaignStore:
         if manifest["derived"].get(key) != value:
             manifest["derived"][key] = value
             self._write_manifest()
+
+    # ------------------------------------------------------------------ #
+    # tile-result-cache accounting
+    # ------------------------------------------------------------------ #
+    def get_tile_cache_stats(self) -> Optional[dict]:
+        """Accumulated tile-cache counters, ``None`` before any run recorded."""
+        return self._require_open().get("tile_cache")
+
+    def record_tile_cache_stats(self, stats: Dict[str, int]) -> None:
+        """Accumulate one run's tile-cache counter deltas into the manifest.
+
+        Counters sum across resumed runs of the campaign, so the manifest's
+        ``tile_cache`` block reports dedup effectiveness for the campaign as
+        a whole and ``campaign-report`` renders it with zero recomputation.
+        """
+        manifest = self._require_open()
+        totals = manifest.setdefault("tile_cache", {})
+        for key, value in stats.items():
+            totals[key] = int(totals.get(key, 0)) + int(value)
+        self._write_manifest()
 
     # ------------------------------------------------------------------ #
     # condition records

@@ -176,9 +176,10 @@ def _synthesize_layout_mask(height_px: int, width_px: int, tile_size_px: int,
 
 
 def command_image_layout(arguments) -> int:
+    import os
     import time
 
-    from .engine import ExecutionEngine
+    from .engine import EngineSpec, ExecutionEngine, ShardedExecutor
     from .optics.source import make_source
 
     if not arguments.output and not arguments.out:
@@ -194,19 +195,41 @@ def command_image_layout(arguments) -> int:
     config = OpticsConfig(tile_size_px=arguments.tile_size,
                           pixel_size_nm=arguments.pixel_size_nm)
     source = make_source(arguments.source) if arguments.source else None
-    engine = ExecutionEngine.for_optics(
-        config, source=source,
-        fft_backend=arguments.fft_backend or None,
-        fft_workers=arguments.fft_workers or None,
-        precision=arguments.precision or None,
-        tile_cache=arguments.tile_cache)
-
-    start = time.perf_counter()
-    result = engine.image_layout(mask, tile_px=arguments.tile_size,
-                                 guard_px=arguments.guard if arguments.guard >= 0 else None,
-                                 streaming=arguments.streaming,
-                                 out_dir=arguments.out or None)
-    elapsed = time.perf_counter() - start
+    scheduler = (arguments.scheduler
+                 or os.environ.get("REPRO_SCHEDULER", "") or "serial")
+    guard_px = arguments.guard if arguments.guard >= 0 else None
+    if scheduler == "serial":
+        engine = ExecutionEngine.for_optics(
+            config, source=source,
+            fft_backend=arguments.fft_backend or None,
+            fft_workers=arguments.fft_workers or None,
+            precision=arguments.precision or None,
+            tile_cache=arguments.tile_cache)
+        tile_cache = engine.tile_cache
+        start = time.perf_counter()
+        result = engine.image_layout(mask, tile_px=arguments.tile_size,
+                                     guard_px=guard_px,
+                                     streaming=arguments.streaming,
+                                     out_dir=arguments.out or None)
+        elapsed = time.perf_counter() - start
+    else:
+        # pool / stealing: shard the tile batches across worker processes
+        # through the named scheduler (bit-for-bit the serial output).
+        spec = EngineSpec(config=config, source=source,
+                          fft_backend=arguments.fft_backend or None,
+                          fft_workers=arguments.fft_workers or None,
+                          precision=arguments.precision or None)
+        with ShardedExecutor(tile_cache=arguments.tile_cache,
+                             scheduler=scheduler) as executor:
+            tile_cache = executor.tile_cache
+            engine = executor.warm(spec)
+            start = time.perf_counter()
+            result = executor.image_layout(spec, mask,
+                                           tile_px=arguments.tile_size,
+                                           guard_px=guard_px,
+                                           streaming=arguments.streaming,
+                                           out_dir=arguments.out or None)
+            elapsed = time.perf_counter() - start
 
     is_reader = hasattr(mask, "read_window")
     height, width = mask.shape
@@ -218,8 +241,8 @@ def command_image_layout(arguments) -> int:
           f"guard {result.tiling.guard_px} px) in {elapsed:.2f} s "
           f"({area_um2 / max(elapsed, 1e-9):.1f} um^2/s) "
           f"[{engine.backend.name} backend, {engine.precision.name}]")
-    if engine.tile_cache is not None:
-        stats = engine.tile_cache.stats
+    if tile_cache is not None:
+        stats = tile_cache.stats
         print(f"tile cache: {stats.served}/{stats.tiles} tiles served from "
               f"cache ({stats.hit_rate * 100:.1f}% hit rate, "
               f"{stats.misses} imaged)")
@@ -292,7 +315,8 @@ def _run_sweep_window(arguments, grid, num_workers: int,
                           pixel_size_nm=arguments.pixel_size_nm)
     source = make_source(arguments.source) if arguments.source else None
     with ShardedExecutor(num_workers=num_workers, cache_dir=cache_dir,
-                         tile_cache=arguments.tile_cache) as executor:
+                         tile_cache=arguments.tile_cache,
+                         scheduler=arguments.scheduler or None) as executor:
         sweep = ProcessWindowSweep(
             config, source=source, executor=executor,
             fft_backend=arguments.fft_backend or None,
@@ -457,6 +481,16 @@ def _add_compute_options(parser: argparse.ArgumentParser) -> None:
                              "REPRO_TILE_CACHE_DIR is set, else off; "
                              "REPRO_TILE_CACHE_DIR adds a disk tier that "
                              "persists across runs")
+    parser.add_argument("--scheduler", default="",
+                        choices=("", "serial", "pool", "stealing"),
+                        help="task scheduler for (condition, shard) work: "
+                             "serial (in-process), pool (one task per shard "
+                             "over the worker pool), stealing (finer "
+                             "sub-tasks + parent-side work stealing across "
+                             "uneven shards); output is bit-for-bit "
+                             "identical under all three "
+                             "(default: REPRO_SCHEDULER, else serial for "
+                             "image-layout and pool for sweep-window)")
 
 
 def build_parser() -> argparse.ArgumentParser:

@@ -20,8 +20,13 @@ throughput benchmarks — runs through this package:
 * :mod:`repro.engine.sharded` — multiprocess sharding of tile batches
   (:class:`ShardedExecutor`), with workers warmed from the disk-backed
   kernel cache, a deterministic bit-identical stitch order, and
-  (focus, shard) campaign scheduling over one shared pool
-  (:meth:`ShardedExecutor.campaign_aerials`), and
+  (condition, shard) campaign scheduling over one shared pool
+  (:meth:`ShardedExecutor.run_conditions` / ``campaign_aerials``),
+* :mod:`repro.engine.scheduler` — the condition-level task scheduling seam
+  (:class:`Scheduler` / :class:`TaskSpec`): serial, pool and work-stealing
+  implementations (selected via ``scheduler=`` / ``REPRO_SCHEDULER``), plus
+  the :class:`FaultInjectingScheduler` chaos wrapper CI uses to prove the
+  bit-for-bit-or-serial-fallback guarantee under induced failure, and
 * :mod:`repro.engine.tile_cache` — the content-addressed tile-result cache
   (:class:`TileResultCache`): each *unique* guard-banded tile content is
   imaged once per (kernel bank, backend, precision, geometry) and every
@@ -76,6 +81,18 @@ from .cache import (
     optics_fingerprint,
 )
 from .execution import ExecutionEngine, LayoutImage
+from .scheduler import (
+    DEFAULT_SCHEDULER,
+    SCHEDULERS,
+    FaultInjectingScheduler,
+    PoolScheduler,
+    Scheduler,
+    SerialScheduler,
+    StealingPoolScheduler,
+    TaskSpec,
+    faults_from_env,
+    resolve_scheduler,
+)
 from .sharded import EngineSpec, ShardedExecutor, available_workers
 from .streaming import (
     iter_tile_batches,
@@ -110,6 +127,9 @@ __all__ = [
     "CacheStats", "KernelBankCache", "configure_default_cache",
     "default_kernel_cache", "optics_fingerprint",
     "ExecutionEngine", "LayoutImage",
+    "DEFAULT_SCHEDULER", "SCHEDULERS", "Scheduler", "TaskSpec",
+    "SerialScheduler", "PoolScheduler", "StealingPoolScheduler",
+    "FaultInjectingScheduler", "faults_from_env", "resolve_scheduler",
     "EngineSpec", "ShardedExecutor", "available_workers",
     "iter_tile_batches", "open_layout_dir", "stream_image_layout",
     "ZERO_TILE_DIGEST", "TileCacheContext", "TileCacheStats",

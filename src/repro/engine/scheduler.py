@@ -1,0 +1,510 @@
+"""Condition-level task scheduling for campaign workloads.
+
+The sharded layer used to hard-code (focus, shard) tasks over one
+:class:`~concurrent.futures.ProcessPoolExecutor`.  This module pulls the
+scheduling policy out behind a small :class:`Scheduler` interface so the same
+campaign code can run in-process, over the existing pool, or over a
+work-stealing pool — and, later, over multiple hosts or a service queue —
+without touching the campaign logic or the bit-for-bit guarantee.
+
+The unit of work is a :class:`TaskSpec`: one ``(condition, shard)`` pair — an
+:class:`~repro.engine.sharded.EngineSpec` (which may carry a ``dose`` axis),
+an opaque ``condition`` key, the shard's mask payload and its ``shard_slice``
+position within the condition's batch.  Schedulers never reorder *results*:
+whoever computes a shard, the facade concatenates shards in
+``shard_slice`` order, so every assembled condition is bit-for-bit the serial
+output.
+
+Implementations
+---------------
+:class:`SerialScheduler`
+    Computes tasks in submission order, in-process, lazily — the fallback
+    path and the reference every other scheduler is pinned against.
+:class:`PoolScheduler`
+    One pool task per :class:`TaskSpec` over a provided (lazily created)
+    process pool; fork/spawn context aware because the pool itself is.
+:class:`StealingPoolScheduler`
+    Splits each task into finer sub-tasks (the pool's shared queue then
+    rebalances them across workers naturally) and additionally *steals*
+    queued sub-tasks back into the parent process when the workers straggle:
+    a queued future that can still be cancelled is computed in-process
+    instead of waiting on a busy worker.  Sub-results are concatenated in
+    sub-slice order, so outputs stay bit-for-bit equal to serial no matter
+    who computed what.
+:class:`FaultInjectingScheduler`
+    A test/CI wrapper around any of the above that drops tasks, raises
+    :class:`~concurrent.futures.process.BrokenProcessPool` or SIGKILLs a
+    live worker at configurable points — the chaos half of the CI gauntlet.
+
+Selection
+---------
+:func:`resolve_scheduler` maps a name (``serial`` / ``pool`` / ``stealing``,
+or the ``REPRO_SCHEDULER`` environment variable) to a wired instance;
+:func:`faults_from_env` parses ``REPRO_SCHEDULER_FAULTS`` (e.g.
+``break_after=1`` / ``drop=0:2`` / ``kill_after=1``) so CI can inject faults
+into an unmodified CLI run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+from concurrent.futures import FIRST_COMPLETED, Future, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+import numpy as np
+
+#: Environment variable naming the default scheduler (serial/pool/stealing).
+SCHEDULER_ENV = "REPRO_SCHEDULER"
+#: Environment variable carrying fault-injection directives for CI chaos
+#: runs, e.g. ``break_after=1`` or ``drop=0:2,break_after=3``.
+FAULTS_ENV = "REPRO_SCHEDULER_FAULTS"
+#: The scheduler used when neither an argument nor the environment chooses.
+DEFAULT_SCHEDULER = "pool"
+
+
+@dataclass(frozen=True, eq=False)
+class TaskSpec:
+    """One schedulable unit of campaign work: a (condition, shard) pair.
+
+    ``eq=False`` keeps identity semantics: the mask payload makes tasks
+    unhashable by value, and schedulers key their bookkeeping by the task
+    object itself.
+
+    Attributes
+    ----------
+    spec:
+        The picklable engine recipe (optics + compute policy, optionally a
+        ``dose``) the shard is imaged under.
+    masks:
+        The shard's ``(B, H, W)`` mask payload, already sliced out of the
+        condition's full batch.
+    shard_slice:
+        Where this shard sits in the condition's batch — results are
+        concatenated in ``shard_slice.start`` order, which is what makes
+        scheduler output bit-for-bit equal to serial.
+    condition:
+        Opaque hashable condition key, e.g. ``(focus_nm, dose)`` or a bare
+        campaign index.  Schedulers never interpret it.
+    output_shape:
+        Optional upsampled output shape, forwarded to the engine.
+    """
+
+    spec: "object"
+    masks: np.ndarray
+    shard_slice: slice = field(default_factory=lambda: slice(None))
+    condition: Hashable = None
+    output_shape: Optional[Tuple[int, int]] = None
+
+    @property
+    def spec_fingerprint(self) -> str:
+        """The engine spec's cache fingerprint (kernel-bank identity)."""
+        return self.spec.fingerprint()
+
+    @property
+    def num_tiles(self) -> int:
+        return int(self.masks.shape[0])
+
+
+def run_task(engine, task: TaskSpec) -> np.ndarray:
+    """Execute one task on a built engine (the in-process compute path)."""
+    return engine.aerial_batch(task.masks, output_shape=task.output_shape)
+
+
+class Scheduler:
+    """Interface between campaign code and task execution.
+
+    The contract every implementation (and every future remote backend)
+    honours:
+
+    * :meth:`submit` accepts a :class:`TaskSpec` and returns a handle (the
+      task itself — identity is the handle),
+    * :meth:`as_completed` yields ``(task, result)`` pairs until every
+      submitted task has been yielded, in *any* completion order,
+    * :meth:`cancel_pending` abandons work that has not started, returning
+      how many tasks were reclaimed (the consumer recomputes or drops them),
+    * :meth:`close` releases scheduler-owned resources — never the shared
+      pool, which belongs to the executor facade.
+
+    Pool-related failures (:class:`BrokenProcessPool`, :class:`OSError`,
+    :class:`PermissionError`) propagate out of :meth:`submit` /
+    :meth:`as_completed`; the facade owns the degrade-to-serial story.
+    """
+
+    #: Whether this scheduler ships work to a process pool.  The facade
+    #: consults it to decide shard granularity (and to skip pool warm-up
+    #: entirely for in-process schedulers).
+    uses_pool = False
+
+    def submit(self, task: TaskSpec) -> TaskSpec:
+        raise NotImplementedError
+
+    def as_completed(self) -> Iterator[Tuple[TaskSpec, np.ndarray]]:
+        raise NotImplementedError
+
+    def cancel_pending(self) -> int:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialScheduler(Scheduler):
+    """In-process execution in submission order — the reference scheduler.
+
+    Tasks are computed lazily inside :meth:`as_completed`, so abandoning the
+    iterator (the consumer breaking out early) costs nothing and cancels
+    everything still queued.
+    """
+
+    uses_pool = False
+
+    def __init__(self, engine_provider: Callable[["object"], "object"]):
+        self._engine_provider = engine_provider
+        self._queue: List[TaskSpec] = []
+
+    def submit(self, task: TaskSpec) -> TaskSpec:
+        self._queue.append(task)
+        return task
+
+    def as_completed(self) -> Iterator[Tuple[TaskSpec, np.ndarray]]:
+        while self._queue:
+            task = self._queue.pop(0)
+            yield task, run_task(self._engine_provider(task.spec), task)
+
+    def cancel_pending(self) -> int:
+        cancelled = len(self._queue)
+        self._queue.clear()
+        return cancelled
+
+    def close(self) -> None:
+        self._queue.clear()
+
+
+class PoolScheduler(Scheduler):
+    """One pool future per task over a provided process pool.
+
+    The pool arrives through ``pool_provider`` (called lazily at first
+    submit), so the facade keeps owning pool lifecycle — including the
+    test-pinned idiom of injecting a fake pool at ``executor._pool`` — and
+    the fork/spawn ``mp_context`` choice stays wherever the pool was made.
+    """
+
+    uses_pool = True
+
+    #: Seconds :meth:`as_completed` waits for a completion before taking a
+    #: housekeeping turn (stealing, in subclasses).
+    poll_interval = 0.05
+
+    def __init__(self, pool_provider: Callable[[], "object"],
+                 engine_provider: Optional[Callable[["object"], "object"]] = None):
+        self._pool_provider = pool_provider
+        self._engine_provider = engine_provider
+        self._pool = None
+        #: future -> (task, sub-index, sub-count); plain tasks are their own
+        #: single sub-task.
+        self._futures: Dict[Future, Tuple[TaskSpec, int, int]] = {}
+        #: task -> accumulated sub-results (sub-slice order).
+        self._pieces: Dict[TaskSpec, List[Optional[np.ndarray]]] = {}
+        #: submission order of still-outstanding futures (steal candidates).
+        self._order: List[Future] = []
+
+    # -- pool access ---------------------------------------------------- #
+    def pool(self):
+        """The live pool, created on first use via the provider."""
+        if self._pool is None:
+            self._pool = self._pool_provider()
+        return self._pool
+
+    # -- submission ----------------------------------------------------- #
+    def _submit_piece(self, task: TaskSpec, sub_index: int, sub_count: int,
+                      masks: np.ndarray) -> None:
+        from .sharded import _shard_aerial
+
+        future = self.pool().submit(_shard_aerial, task.spec, masks,
+                                    task.output_shape)
+        self._futures[future] = (task, sub_index, sub_count)
+        self._order.append(future)
+
+    def _split(self, task: TaskSpec) -> List[np.ndarray]:
+        """Sub-batches this scheduler ships for one task (1 = no split)."""
+        return [task.masks]
+
+    def submit(self, task: TaskSpec) -> TaskSpec:
+        pieces = self._split(task)
+        self._pieces[task] = [None] * len(pieces)
+        for sub_index, masks in enumerate(pieces):
+            self._submit_piece(task, sub_index, len(pieces), masks)
+        return task
+
+    # -- completion ----------------------------------------------------- #
+    def _record(self, task: TaskSpec, sub_index: int,
+                result: np.ndarray) -> Optional[Tuple[TaskSpec, np.ndarray]]:
+        pieces = self._pieces[task]
+        pieces[sub_index] = result
+        if any(piece is None for piece in pieces):
+            return None
+        del self._pieces[task]
+        if len(pieces) == 1:
+            return task, pieces[0]
+        return task, np.concatenate(pieces, axis=0)
+
+    def _idle_turn(self) -> Iterator[Tuple[TaskSpec, np.ndarray]]:
+        """Housekeeping while no future completed (stealing hook)."""
+        return iter(())
+
+    def as_completed(self) -> Iterator[Tuple[TaskSpec, np.ndarray]]:
+        while self._futures:
+            done, _ = wait(list(self._futures), timeout=self.poll_interval,
+                           return_when=FIRST_COMPLETED)
+            if not done:
+                yield from self._idle_turn()
+                continue
+            for future in done:
+                task, sub_index, _ = self._futures.pop(future)
+                if future in self._order:
+                    self._order.remove(future)
+                completed = self._record(task, sub_index, future.result())
+                if completed is not None:
+                    yield completed
+
+    def cancel_pending(self) -> int:
+        cancelled = 0
+        for future in list(self._futures):
+            if future.cancel():
+                cancelled += 1
+                self._futures.pop(future, None)
+        self._order = [future for future in self._order
+                       if future in self._futures]
+        return cancelled
+
+    def close(self) -> None:
+        """Release this scheduler's claims; the pool belongs to the facade."""
+        self.cancel_pending()
+        self._futures.clear()
+        self._pieces.clear()
+        self._order.clear()
+        self._pool = None
+
+
+class StealingPoolScheduler(PoolScheduler):
+    """Pool scheduling with finer sub-tasks and parent-side work stealing.
+
+    Two mechanisms attack uneven shards:
+
+    * every submitted task is split into up to ``split_factor`` contiguous
+      sub-tasks, so the pool's shared queue redistributes a straggling
+      condition's tail across idle workers instead of leaving it pinned to
+      one process;
+    * whenever a poll interval passes with no completion (all workers busy,
+      queue non-empty), the parent cancels the most recently queued future
+      that has not started and computes it in-process — the parent becomes
+      one more worker exactly when the pool is the bottleneck.
+
+    Both preserve the bit-for-bit guarantee: sub-results are concatenated in
+    sub-slice order, and `numpy` arrays do not care which process produced
+    them.  Requires an ``engine_provider`` for the stolen in-process work.
+    """
+
+    uses_pool = True
+
+    def __init__(self, pool_provider, engine_provider=None,
+                 split_factor: int = 4):
+        super().__init__(pool_provider, engine_provider)
+        if split_factor < 1:
+            raise ValueError("split_factor must be at least 1")
+        self.split_factor = int(split_factor)
+        #: Diagnostics: tasks computed in-process by the parent.
+        self.stolen = 0
+
+    def _split(self, task: TaskSpec) -> List[np.ndarray]:
+        batch = task.masks.shape[0]
+        if batch <= 1:
+            return [task.masks]
+        size = max(1, -(-batch // self.split_factor))  # ceil
+        return [task.masks[start:start + size]
+                for start in range(0, batch, size)]
+
+    def _idle_turn(self) -> Iterator[Tuple[TaskSpec, np.ndarray]]:
+        if self._engine_provider is None:
+            return
+        # Steal from the back of the queue: the most recently submitted
+        # future is the least likely to be about to start.
+        for future in reversed(self._order):
+            if not future.cancel():
+                continue
+            task, sub_index, _ = self._futures.pop(future)
+            self._order.remove(future)
+            self.stolen += 1
+            result = run_task(self._engine_provider(task.spec),
+                              TaskSpec(spec=task.spec,
+                                       masks=self._stolen_masks(task, sub_index),
+                                       shard_slice=task.shard_slice,
+                                       condition=task.condition,
+                                       output_shape=task.output_shape))
+            completed = self._record(task, sub_index, result)
+            if completed is not None:
+                yield completed
+            return
+
+    def _stolen_masks(self, task: TaskSpec, sub_index: int) -> np.ndarray:
+        """The sub-batch a cancelled future would have computed."""
+        return self._split(task)[sub_index]
+
+
+class FaultInjectingScheduler(Scheduler):
+    """Chaos wrapper: degrade a real scheduler at configurable points.
+
+    Parameters
+    ----------
+    inner:
+        The scheduler actually doing the work.
+    drop:
+        Submission indices (0-based) whose tasks are silently *not*
+        submitted — they never complete, so the consumer's
+        unfinished-condition fallback must recompute them.
+    break_after:
+        Raise :class:`BrokenProcessPool` out of :meth:`as_completed` after
+        this many results have been yielded (``None`` = never).
+    kill_after:
+        After this many results, SIGKILL one live worker of the inner
+        scheduler's real pool — the pool then breaks *naturally* on the next
+        result.  Falls back to raising :class:`BrokenProcessPool` when the
+        inner pool is fake or in-process (``None`` = never).
+    """
+
+    def __init__(self, inner: Scheduler, drop: Tuple[int, ...] = (),
+                 break_after: Optional[int] = None,
+                 kill_after: Optional[int] = None):
+        self.inner = inner
+        self.drop = frozenset(int(index) for index in drop)
+        self.break_after = break_after
+        self.kill_after = kill_after
+        self.dropped: List[TaskSpec] = []
+        self._submitted = 0
+        self._yielded = 0
+
+    @property
+    def uses_pool(self) -> bool:
+        return self.inner.uses_pool
+
+    def submit(self, task: TaskSpec) -> TaskSpec:
+        index = self._submitted
+        self._submitted += 1
+        if index in self.drop:
+            self.dropped.append(task)
+            return task
+        return self.inner.submit(task)
+
+    def _kill_one_worker(self) -> bool:
+        pool = getattr(self.inner, "_pool", None)
+        processes = getattr(pool, "_processes", None)
+        if not processes:
+            return False
+        victim = next(iter(processes.values()))
+        os.kill(victim.pid, signal.SIGKILL)
+        return True
+
+    def as_completed(self) -> Iterator[Tuple[TaskSpec, np.ndarray]]:
+        for task, result in self.inner.as_completed():
+            yield task, result
+            self._yielded += 1
+            if self.break_after is not None \
+                    and self._yielded >= self.break_after:
+                raise BrokenProcessPool(
+                    f"injected fault after {self._yielded} result(s)")
+            if self.kill_after is not None \
+                    and self._yielded >= self.kill_after:
+                self.kill_after = None  # one murder is plenty
+                if not self._kill_one_worker():
+                    raise BrokenProcessPool(
+                        f"injected worker death after {self._yielded} "
+                        f"result(s)")
+
+    def cancel_pending(self) -> int:
+        cancelled = self.inner.cancel_pending() + len(self.dropped)
+        self.dropped.clear()
+        return cancelled
+
+    def close(self) -> None:
+        self.inner.close()
+
+
+#: Registry mapping scheduler names to constructors taking
+#: ``(pool_provider, engine_provider)``.
+SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
+    "serial": lambda pool_provider, engine_provider:
+        SerialScheduler(engine_provider),
+    "pool": lambda pool_provider, engine_provider:
+        PoolScheduler(pool_provider, engine_provider),
+    "stealing": lambda pool_provider, engine_provider:
+        StealingPoolScheduler(pool_provider, engine_provider),
+}
+
+
+def faults_from_env(env: Optional[str] = None) -> Optional[dict]:
+    """Parse ``REPRO_SCHEDULER_FAULTS`` into FaultInjectingScheduler kwargs.
+
+    Grammar: comma-separated ``key=value`` pairs, where ``break_after`` /
+    ``kill_after`` take an int and ``drop`` takes colon-separated submission
+    indices — e.g. ``break_after=1`` or ``drop=0:2,kill_after=3``.
+    Returns ``None`` when the variable is unset/empty.
+    """
+    text = os.environ.get(FAULTS_ENV, "") if env is None else env
+    text = text.strip()
+    if not text:
+        return None
+    faults: dict = {}
+    for item in text.split(","):
+        key, _, value = item.partition("=")
+        key = key.strip()
+        if key in ("break_after", "kill_after"):
+            faults[key] = int(value)
+        elif key == "drop":
+            faults["drop"] = tuple(int(token) for token in value.split(":")
+                                   if token.strip())
+        else:
+            raise ValueError(
+                f"unknown fault {key!r} in {FAULTS_ENV} (known: "
+                f"break_after, kill_after, drop)")
+    return faults
+
+
+def resolve_scheduler(name: Optional[str], pool_provider,
+                      engine_provider, inject_faults: bool = True) -> Scheduler:
+    """A wired scheduler for ``name`` (or ``REPRO_SCHEDULER``, or the default).
+
+    ``inject_faults=True`` additionally honours ``REPRO_SCHEDULER_FAULTS``
+    by wrapping the result in a :class:`FaultInjectingScheduler` — the hook
+    the CI chaos job uses to break an otherwise unmodified CLI run.
+    """
+    if not name:
+        name = os.environ.get(SCHEDULER_ENV, "") or DEFAULT_SCHEDULER
+    try:
+        factory = SCHEDULERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler {name!r}; known schedulers: "
+            f"{', '.join(sorted(SCHEDULERS))}") from None
+    scheduler = factory(pool_provider, engine_provider)
+    if inject_faults:
+        faults = faults_from_env()
+        if faults:
+            scheduler = FaultInjectingScheduler(scheduler, **faults)
+    return scheduler

@@ -31,10 +31,10 @@ from __future__ import annotations
 import dataclasses
 import os
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,6 +45,7 @@ from ..optics.source import AnnularSource, Source
 from .batched import DEFAULT_MAX_CHUNK_BYTES
 from .cache import KernelBankCache, default_kernel_cache, optics_fingerprint
 from .execution import ExecutionEngine, LayoutImage
+from .scheduler import Scheduler, SerialScheduler, TaskSpec, resolve_scheduler
 from .streaming import stream_image_layout
 from .tile_cache import resolve_tile_cache
 from .tiling import TilingSpec, extract_tile_batch, extract_tiles, \
@@ -66,6 +67,13 @@ class EngineSpec:
     the sharded == serial bit-for-bit guarantee holds under every
     backend/precision combination.  ``fft_workers`` only affects wall-clock
     (pocketfft is deterministic across worker counts), never output.
+
+    ``dose`` is the optional exposure axis: a relative dose scales the
+    resist threshold of the built engine (``threshold / dose`` — the aerial
+    image is dose-independent under the constant-threshold resist), so a
+    campaign can schedule true (focus, dose, shard) tasks when its resist
+    model demands it.  ``None`` keeps the config's nominal threshold and the
+    pre-dose fingerprints.
     """
 
     config: OpticsConfig
@@ -77,6 +85,7 @@ class EngineSpec:
     fft_backend: Optional[str] = None
     fft_workers: Optional[int] = None
     precision: Optional[str] = None
+    dose: Optional[float] = None
 
     def __post_init__(self):
         # Normalise the compute policy HERE, in the constructing process:
@@ -86,6 +95,8 @@ class EngineSpec:
                            get_backend(self.fft_backend).name)
         object.__setattr__(self, "precision",
                            resolve_precision(self.precision).name)
+        if self.dose is not None and self.dose <= 0:
+            raise ValueError("dose must be positive")
 
     def resolved_optics(self) -> Tuple[Source, Pupil]:
         """Source / pupil with the same defaults as ``ExecutionEngine.for_optics``."""
@@ -97,10 +108,16 @@ class EngineSpec:
         """Cache key: optics fingerprint + the engine options that change output."""
         source, pupil = self.resolved_optics()
         base = optics_fingerprint(self.config, source, pupil)
-        return (f"{base}|order={getattr(self.config, 'max_socs_order', None)}"
-                f"|band={self.band_limited}|chunk={self.max_chunk_bytes}"
-                f"|backend={self.fft_backend}|workers={self.fft_workers}"
-                f"|prec={self.precision}")
+        fingerprint = (
+            f"{base}|order={getattr(self.config, 'max_socs_order', None)}"
+            f"|band={self.band_limited}|chunk={self.max_chunk_bytes}"
+            f"|backend={self.fft_backend}|workers={self.fft_workers}"
+            f"|prec={self.precision}")
+        if self.dose is not None:
+            # Appended only when set, so pre-dose fingerprints (and the
+            # campaign-store identities derived from them) are unchanged.
+            fingerprint += f"|dose={self.dose}"
+        return fingerprint
 
     def with_focus(self, focus_nm: float) -> "EngineSpec":
         """The same imaging system refocused: config + pupil defocus replaced."""
@@ -111,19 +128,31 @@ class EngineSpec:
             source=source,
             pupil=dataclasses.replace(pupil, defocus_nm=float(focus_nm)))
 
+    def with_condition(self, focus_nm: float,
+                       dose: Optional[float] = None) -> "EngineSpec":
+        """The spec for one (focus, dose) process condition of this system."""
+        refocused = self.with_focus(focus_nm)
+        return dataclasses.replace(
+            refocused, dose=float(dose) if dose is not None else None)
+
     def build(self, cache: Optional[KernelBankCache] = None) -> ExecutionEngine:
         """Build the engine, serving kernels through ``cache`` (or the spec's dir)."""
         source, pupil = self.resolved_optics()
         if cache is None:
             cache = (KernelBankCache(cache_dir=self.cache_dir) if self.cache_dir
                      else default_kernel_cache())
+        kwargs = {}
+        if self.dose is not None:
+            # Dose rescales the develop threshold only; the kernel bank (and
+            # its cache entry) is shared across every dose of a focus.
+            kwargs["resist_threshold"] = self.config.resist_threshold / self.dose
         return ExecutionEngine.for_optics(
             self.config, source=source, pupil=pupil, cache=cache,
             band_limited=self.band_limited,
             max_chunk_bytes=self.max_chunk_bytes,
             fft_backend=self.fft_backend,
             fft_workers=self.fft_workers,
-            precision=self.precision)
+            precision=self.precision, **kwargs)
 
 
 # --------------------------------------------------------------------------- #
@@ -213,12 +242,19 @@ class ShardedExecutor:
         happens **parent-side**, before any shard is cut: workers image only
         first-occurrence unique tiles and never see the cache, so the
         sharded == serial bit-for-bit guarantee is untouched.
+    scheduler:
+        Task-scheduling policy (see :mod:`repro.engine.scheduler`): a name
+        (``"serial"`` / ``"pool"`` / ``"stealing"``), a ready-made
+        :class:`~repro.engine.scheduler.Scheduler` instance, or ``None`` to
+        consult ``REPRO_SCHEDULER`` (default ``pool`` — today's behaviour).
+        ``REPRO_SCHEDULER_FAULTS`` additionally wraps named schedulers in a
+        fault injector (CI chaos runs); explicit instances are used as-is.
     """
 
     def __init__(self, num_workers: Optional[int] = None,
                  cache_dir: Optional[str] = None,
                  mp_context=None, min_shard_tiles: int = 1,
-                 tile_cache=None):
+                 tile_cache=None, scheduler=None):
         if num_workers is not None and num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if min_shard_tiles < 1:
@@ -228,6 +264,11 @@ class ShardedExecutor:
             os.environ.get("REPRO_KERNEL_CACHE_DIR")
         self.min_shard_tiles = int(min_shard_tiles)
         self.tile_cache = resolve_tile_cache(tile_cache)
+        self.scheduler = scheduler
+        if isinstance(scheduler, str):
+            # Fail loudly at construction, not mid-campaign.
+            resolve_scheduler(scheduler, pool_provider=None,
+                              engine_provider=None, inject_faults=False)
         self._mp_context = mp_context
         self._pool: Optional[ProcessPoolExecutor] = None
         self._local_engines: "OrderedDict[str, ExecutionEngine]" = OrderedDict()
@@ -342,21 +383,12 @@ class ShardedExecutor:
         if len(shards) <= 1:
             return self.warm(spec).aerial_batch(masks, output_shape=output_shape)
 
-        self.warm(spec)  # persist the bank before any worker asks for it
-        worker_spec = self._worker_spec(spec, min(self.num_workers, len(shards)))
-        try:
-            pool = self._pool_handle()
-            futures = [pool.submit(_shard_aerial, worker_spec, masks[piece],
-                                   output_shape)
-                       for piece in shards]
-            results = [future.result() for future in futures]
-            self.last_used_pool = True
-        except (BrokenProcessPool, OSError, PermissionError):
-            # Sandboxes and exotic platforms may forbid subprocesses; the
-            # sharded path is an optimisation, never a correctness dependency.
-            self.close()
-            return self.warm(spec).aerial_batch(masks, output_shape=output_shape)
-        return np.concatenate(results, axis=0)
+        # One single-condition campaign: the scheduler does the sharding,
+        # the degradation story and the submission-order concatenation.
+        for _, result in self.run_conditions([(0, spec)], masks,
+                                             output_shape=output_shape):
+            return result
+        raise RuntimeError("scheduler yielded no result")  # pragma: no cover
 
     def resist_batch(self, spec: EngineSpec, masks: np.ndarray) -> np.ndarray:
         """Binary resist images of a sharded mask batch."""
@@ -364,79 +396,146 @@ class ShardedExecutor:
         return self.warm(spec).resist_model.develop(aerial)
 
     # ------------------------------------------------------------------ #
-    # campaign scheduling: one pool task per (spec, shard)
+    # campaign scheduling: one task per (condition, shard)
     # ------------------------------------------------------------------ #
-    def campaign_aerials(self, specs: Sequence[EngineSpec], masks: np.ndarray,
-                         output_shape: Optional[Tuple[int, int]] = None,
-                         ) -> Iterator[Tuple[int, np.ndarray]]:
-        """Image one mask batch under many specs across ONE shared pool.
+    def _task_engine(self, spec: EngineSpec) -> ExecutionEngine:
+        """Engine provider handed to schedulers for in-process execution."""
+        return self.warm(spec)
 
-        The campaign workload — the same tile batch under ``F`` focus
-        settings — used to parallelise only *within* one spec (at most one
-        shard per worker, workers idle whenever a focus has fewer shards
-        than the pool).  Here every ``(spec, shard)`` pair becomes one pool
-        task submitted up front, so the pool stays saturated across focus
-        boundaries and stragglers of one focus overlap the next.
+    def _make_scheduler(self) -> Tuple[Scheduler, bool]:
+        """A scheduler for one campaign run + whether this facade owns it.
 
-        Yields ``(spec_index, aerial_batch)`` as each spec *completes*
+        Named schedulers are constructed fresh per run (their bookkeeping is
+        per-campaign) and wired to this executor's lazy pool handle and
+        warm-engine provider; a ready-made instance passed at construction
+        is reused as-is, so tests can hand in pre-wired fault injectors and
+        inspect them afterwards.
+        """
+        if isinstance(self.scheduler, Scheduler):
+            return self.scheduler, False
+        return resolve_scheduler(
+            self.scheduler,
+            # Late-bound so monkeypatched / injected ``_pool_handle``
+            # attributes are honoured at submit time, not construction time.
+            pool_provider=lambda: self._pool_handle(),
+            engine_provider=self._task_engine), True
+
+    def run_conditions(self, conditions: Sequence[Tuple[Hashable, EngineSpec]],
+                       masks: np.ndarray,
+                       output_shape: Optional[Tuple[int, int]] = None,
+                       ) -> Iterator[Tuple[Hashable, np.ndarray]]:
+        """Schedule per-(condition, shard) tasks, yield conditions as they finish.
+
+        The generalisation of the campaign workload: ``conditions`` is a
+        sequence of ``(key, EngineSpec)`` pairs — every key an opaque
+        process condition (a campaign index, a ``(focus, dose)`` pair, ...)
+        whose spec may carry its own focus *and* dose — and ``masks`` the
+        tile batch imaged under each of them.  Every ``(condition, shard)``
+        pair becomes one :class:`~repro.engine.scheduler.TaskSpec` submitted
+        through the configured scheduler, so the pool stays saturated
+        across condition boundaries and stragglers of one condition overlap
+        the next.
+
+        Yields ``(key, aerial_batch)`` as each condition *completes*
         (completion order is scheduling-dependent; the array contents are
         not: shards are concatenated in submission order, so every yielded
-        batch is bit-for-bit the serial result for that spec).  Yielding per
-        completed spec lets a campaign store persist and drop each focus
-        before the next finishes, keeping memory at O(one focus).
+        batch is bit-for-bit the serial result for that condition).
+        Yielding per completed condition lets a campaign store persist and
+        drop each one before the next finishes, keeping memory at O(one
+        condition).
 
         A broken/unavailable pool — even mid-campaign — degrades to the
-        serial in-process path for every spec not yet yielded, preserving
-        results exactly.  All specs must share one compute policy (the
-        campaign's); the mask batch is cast once to that precision.
+        serial in-process path for every condition not yet yielded,
+        preserving results exactly; the same fallback recomputes any task a
+        faulty scheduler *dropped*.  Abandoning the iterator cancels every
+        task that has not started (no futures keep running behind a
+        consumer that walked away).  All specs must share one compute
+        policy (the campaign's); the mask batch is cast once to that
+        precision.
         """
-        specs = [self._resolve_spec(spec) for spec in specs]
-        if not specs:
+        conditions = [(key, self._resolve_spec(spec))
+                      for key, spec in conditions]
+        if not conditions:
             return
-        masks = resolve_precision(specs[0].precision).as_real(masks)
+        masks = resolve_precision(conditions[0][1].precision).as_real(masks)
         if masks.ndim != 3:
             raise ValueError("masks must have shape (B, H, W)")
         batch = masks.shape[0]
         self.last_used_pool = False
 
+        scheduler, owned = self._make_scheduler()
         shards = self._shard_slices(batch) if batch else []
-        use_pool = (self.num_workers > 1 and len(specs) > 0
+        use_pool = (scheduler.uses_pool and self.num_workers > 1
                     and batch >= 2 * self.min_shard_tiles and len(shards) > 1)
+        if not use_pool:
+            if scheduler.uses_pool:
+                # Serial-scale work never spins a pool up: route the tasks
+                # through the in-process scheduler instead (the pre-existing
+                # small-batch / single-worker fallback, unchanged).
+                scheduler, owned = SerialScheduler(self._task_engine), True
+            shards = [slice(0, batch)] if batch else []
         self.last_num_shards = len(shards) if use_pool else (1 if batch else 0)
+
         done = set()
-        if use_pool:
-            for spec in specs:
-                self.warm(spec)  # persist every bank before any worker asks
-            active = min(self.num_workers, len(shards) * len(specs))
+        pieces: Dict[int, List[Optional[np.ndarray]]] = {}
+        try:
+            if use_pool:
+                for _, spec in conditions:
+                    self.warm(spec)  # persist every bank before a worker asks
+            active = min(self.num_workers, len(shards) * len(conditions)) \
+                if use_pool else 1
+            index: Dict[TaskSpec, Tuple[int, int]] = {}
             try:
-                pool = self._pool_handle()
-                futures = {}
-                for index, spec in enumerate(specs):
-                    worker_spec = self._worker_spec(spec, active)
-                    for shard_index, piece in enumerate(shards):
-                        future = pool.submit(_shard_aerial, worker_spec,
-                                             masks[piece], output_shape)
-                        futures[future] = (index, shard_index)
-                pieces: Dict[int, List[Optional[np.ndarray]]] = {
-                    index: [None] * len(shards) for index in range(len(specs))}
-                for future in as_completed(futures):
-                    index, shard_index = futures[future]
-                    pieces[index][shard_index] = future.result()
-                    if all(piece is not None for piece in pieces[index]):
-                        self.last_used_pool = True
-                        done.add(index)
-                        yield index, np.concatenate(pieces.pop(index), axis=0)
-            except (BrokenProcessPool, OSError, PermissionError):
-                # Mid-campaign pool death is an availability event, never a
-                # correctness one: drop to serial for the unfinished specs.
-                # The diagnostic reads True only when the WHOLE campaign ran
-                # through the pool — a partial run still fell back.
-                self.last_used_pool = False
-                self.close()
-        for index, spec in enumerate(specs):
-            if index not in done:
-                yield index, self.warm(spec).aerial_batch(
+                for cid, (key, spec) in enumerate(conditions):
+                    task_spec = self._worker_spec(spec, active) if use_pool \
+                        else spec
+                    pieces[cid] = [None] * len(shards)
+                    for sid, piece in enumerate(shards):
+                        task = TaskSpec(spec=task_spec, masks=masks[piece],
+                                        shard_slice=piece, condition=key,
+                                        output_shape=output_shape)
+                        index[scheduler.submit(task)] = (cid, sid)
+                for task, result in scheduler.as_completed():
+                    cid, sid = index[task]
+                    pieces[cid][sid] = result
+                    if all(piece is not None for piece in pieces[cid]):
+                        self.last_used_pool = use_pool
+                        done.add(cid)
+                        parts = pieces.pop(cid)
+                        yield conditions[cid][0], (
+                            np.concatenate(parts, axis=0)
+                            if len(parts) > 1 else parts[0])
+            finally:
+                # Consumer walked away (GeneratorExit) or the pool died:
+                # reclaim everything that has not started so no futures keep
+                # burning workers behind our back.
+                scheduler.cancel_pending()
+                if owned:
+                    scheduler.close()
+        except (BrokenProcessPool, OSError, PermissionError):
+            # Mid-campaign pool death is an availability event, never a
+            # correctness one: drop to serial for the unfinished conditions.
+            # The diagnostic reads True only when the WHOLE campaign ran
+            # through the pool — a partial run still fell back.
+            self.last_used_pool = False
+            self.close()
+        for cid, (key, spec) in enumerate(conditions):
+            if cid not in done:
+                yield key, self.warm(spec).aerial_batch(
                     masks, output_shape=output_shape)
+
+    def campaign_aerials(self, specs: Sequence[EngineSpec], masks: np.ndarray,
+                         output_shape: Optional[Tuple[int, int]] = None,
+                         ) -> Iterator[Tuple[int, np.ndarray]]:
+        """Image one mask batch under many specs across ONE shared pool.
+
+        The index-keyed veneer over :meth:`run_conditions`: yields
+        ``(spec_index, aerial_batch)`` per completed spec, any order, every
+        batch bit-for-bit the serial result (see :meth:`run_conditions` for
+        the scheduling, degradation and cancellation story).
+        """
+        return self.run_conditions(list(enumerate(specs)), masks,
+                                   output_shape=output_shape)
 
     # ------------------------------------------------------------------ #
     # sharded layouts

@@ -11,11 +11,14 @@ threshold).  An ``F x D`` campaign therefore costs ``F`` kernel banks and
 
 Campaign-scale features (PR 4):
 
-* **(focus, shard) scheduling** — the pending focus settings are imaged
-  through :meth:`ShardedExecutor.campaign_aerials`, one pool task per
-  (focus, shard) over ONE shared pool, so workers never idle at focus
-  boundaries; each focus's CDs are extracted (and persisted) as it
-  completes, holding at most one stitched aerial at a time.
+* **(condition, shard) scheduling** — the pending conditions are imaged
+  through :meth:`ShardedExecutor.run_conditions`, one task per
+  (condition, shard) routed through the executor's pluggable scheduler
+  (serial / pool / work-stealing — ``REPRO_SCHEDULER`` or the CLI's
+  ``--scheduler``; see :mod:`repro.engine.scheduler`), so workers never
+  idle at condition boundaries; conditions complete in *any* order and the
+  store persists each one as it lands, holding at most one stitched aerial
+  at a time.
 * **Disk-backed resumability** — pass ``store=`` (a
   :class:`~repro.sweep.store.CampaignStore` or a directory path) and every
   completed condition is persisted immediately; a killed campaign re-run
@@ -169,16 +172,37 @@ class ProcessWindowSweep:
     # ------------------------------------------------------------------ #
     # the campaign
     # ------------------------------------------------------------------ #
+    def _conditions_for(self, foci: Sequence[float],
+                        doses: Sequence[float],
+                        ) -> List[Tuple[Tuple[float, Tuple[float, ...]],
+                                        EngineSpec]]:
+        """The scheduler's condition list: one task group per pending focus.
+
+        Each condition key is ``(focus, doses)`` — the focus plus every dose
+        developed from its aerial.  Under the constant-threshold resist the
+        aerial is dose-independent, so the doses of a focus share one
+        imaging pass (``F`` passes for an ``F x D`` grid) and the imaging
+        spec carries no dose; a dose-*dependent* resist model would instead
+        emit one ``(focus, (dose,))`` condition per cell with
+        ``spec.with_condition(focus, dose)`` carrying the dose — same
+        scheduler, same store, finer tasks.
+        """
+        return [((focus, tuple(doses)), self.spec_for_focus(focus))
+                for focus in foci]
+
     def _iter_focus_aerials(self, foci: Sequence[float], layout: np.ndarray,
                             tile_px: Optional[int], guard_px: Optional[int],
                             single_tile: bool, streaming: bool,
+                            doses: Sequence[float] = (),
                             ) -> Iterator[Tuple[float, np.ndarray, int]]:
         """Yield ``(focus, stitched aerial, num_tiles)`` per pending focus.
 
-        The multi-tile in-memory path schedules one pool task per
-        (focus, shard) over the executor's shared pool and yields each focus
-        as it completes (contents deterministic); the streaming path images
-        focus-by-focus in bounded batches instead, trading cross-focus
+        The multi-tile in-memory path schedules one task per
+        (condition, shard) through the executor's scheduler
+        (:meth:`ShardedExecutor.run_conditions`) and yields each condition
+        as it completes — in any order; contents deterministic — so the
+        store persists conditions as they land.  The streaming path images
+        focus-by-focus in bounded batches instead, trading cross-condition
         overlap for O(tile-batch) RAM.  Windowed layout readers always take
         the streaming path — materialising their full guard-banded tile
         stack would cost more memory than the dense raster they exist to
@@ -189,8 +213,8 @@ class ProcessWindowSweep:
         each focus's kernel fingerprint keys its own cache namespace, so
         repeated cells within a focus hit (and a resumed campaign with a
         disk tier hits across runs) while distinct foci never mix.  The
-        per-focus routing trades the (focus, shard) overlap of
-        ``campaign_aerials`` for the dedup — opt-in by construction, and on
+        per-focus routing trades the (condition, shard) overlap of the
+        scheduler for the dedup — opt-in by construction, and on
         repetitive layouts the dedup removes far more work than the overlap
         recovers.
         """
@@ -199,10 +223,10 @@ class ProcessWindowSweep:
         if hasattr(layout, "read_window"):
             streaming = True
         if single_tile:
-            specs = [self.spec_for_focus(focus) for focus in foci]
-            for index, batch in self.executor.campaign_aerials(specs,
-                                                              layout[None]):
-                yield foci[index], batch[0], 1
+            conditions = self._conditions_for(foci, doses)
+            for (focus, _), batch in self.executor.run_conditions(
+                    conditions, layout[None]):
+                yield focus, batch[0], 1
         elif streaming or getattr(self.executor, "tile_cache", None) \
                 is not None:
             for focus in foci:
@@ -215,12 +239,12 @@ class ProcessWindowSweep:
             tiling = engine.resolve_tiling(None, tile_px, guard_px)
             height, width = layout.shape
             tiles, placements = extract_tiles(layout, tiling)
-            specs = [self.spec_for_focus(focus) for focus in foci]
-            for index, aerial_tiles in self.executor.campaign_aerials(specs,
-                                                                      tiles):
+            conditions = self._conditions_for(foci, doses)
+            for (focus, _), aerial_tiles in self.executor.run_conditions(
+                    conditions, tiles):
                 aerial = stitch_tiles(aerial_tiles, placements, height,
                                       width, tiling)
-                yield foci[index], aerial, len(placements)
+                yield focus, aerial, len(placements)
 
     def run(self, layout: np.ndarray, target_cd_nm: Optional[float] = None,
             grid: Optional[FocusExposureGrid] = None, tolerance: float = 0.1,
@@ -358,7 +382,7 @@ class ProcessWindowSweep:
             # possible when a pinned cd_row went missing from the store).
             for item in self._iter_focus_aerials(
                     [nominal], layout, tile_px, guard_px, single_tile,
-                    streaming):
+                    streaming, doses=grid.dose_values):
                 handle_focus(*item)
             pending = [focus for focus in pending if focus != nominal]
         else:
@@ -366,7 +390,8 @@ class ProcessWindowSweep:
                 [focus for focus in pending if focus != nominal]
         for item in self._iter_focus_aerials(pending, layout, tile_px,
                                              guard_px, single_tile,
-                                             streaming):
+                                             streaming,
+                                             doses=grid.dose_values):
             handle_focus(*item)
         elapsed = time.perf_counter() - start
 

@@ -17,6 +17,13 @@ layer both properties:
   and computes exactly the remainder (``resume=True``), provided the
   campaign identity matches.
 
+Conditions may be persisted in **any order**: records are keyed by exact
+condition id, never by position, so out-of-order completion — the norm now
+that campaigns run through the scheduler seam (pool and work-stealing
+schedulers yield conditions as they finish, not as submitted) — needs no
+special handling, and resume semantics are unchanged whichever scheduler
+produced the store.
+
 Directory layout
 ----------------
 ::

@@ -22,7 +22,11 @@ baseline *within the same run*, which are hardware-stable:
   benchmark itself still asserts the absolute 4x floor,
 * ``hit_rate`` / ``warm_hit_rate`` (the tile-cache dedup benchmark) —
   deterministic fractions of the benchmark layout's repeated tiles, so any
-  drop means the dedup itself got worse, not the hardware.
+  drop means the dedup itself got worse, not the hardware,
+* ``transfers_per_chunk`` (the fakegpu residency benchmark) — a
+  deterministic host<->device crossing count where **lower** is better: the
+  device-resident contract is exactly one upload + one download per chunk,
+  so any growth means a host detour crept back into the hot loop.
 
 Absolute metrics (``seconds``, ``*_seconds``, ``seconds_per_tile``,
 ``um2_per_second``, ``tiles_per_second``) are *reported* for every file but
@@ -61,6 +65,11 @@ MEMORY_SLACK = 2.0
 RATIO_KEYS = {"peak_memory_ratio": MEMORY_SLACK,
               "hit_rate": 1.0, "warm_hit_rate": 1.0}
 RATIO_SUFFIXES = ("speedup", "_speedup")
+
+#: Gated ratio metrics where LOWER is better: deterministic counts, not
+#: wall-clock, so they get no slack.  ``transfers_per_chunk`` pins the
+#: device-resident contract (one upload + one download per chunk).
+LOWER_BETTER_RATIO_KEYS = {"transfers_per_chunk": 1.0}
 
 #: Absolute metrics — reported always, gated only under --absolute.
 HIGHER_BETTER_ABS = ("um2_per_second", "tiles_per_second")
@@ -103,6 +112,8 @@ def _classify(key: str, absolute: bool) -> Optional[Tuple[bool, bool, float]]:
         return None
     if key in RATIO_KEYS:
         return True, True, RATIO_KEYS[key]
+    if key in LOWER_BETTER_RATIO_KEYS:
+        return False, True, LOWER_BETTER_RATIO_KEYS[key]
     if any(key == s or key.endswith(s) for s in RATIO_SUFFIXES):
         return True, True, 1.0
     if key in HIGHER_BETTER_ABS:

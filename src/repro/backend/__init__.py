@@ -10,10 +10,18 @@ owns two orthogonal policies that the whole engine stack
   variable, or the ``auto`` policy (``scipy`` with ``workers=N``
   multi-threaded transforms when scipy is importable, ``numpy`` otherwise).
   New engines (pyFFTW, CuPy, ...) plug in via :func:`register_backend`.
+  Backends that are also :class:`ArrayModule` instances additionally own the
+  small array namespace the batched hot path needs, letting whole chunks
+  stay **device-resident** (one upload per mask chunk, one download per
+  aerial chunk); the always-available ``fakegpu`` module is a numpy-backed
+  device whose transfer counters make residency provable on CI.
 * **Which precision the pipeline runs at** — :func:`resolve_precision` maps
   ``"float64"`` (default) or ``"float32"`` (opt-in) to a :class:`Precision`
   policy carrying the real/complex dtype pair, the byte size used by the
-  batched core's chunk budget, and the documented accuracy tolerance.
+  batched core's chunk budget, and the documented accuracy tolerance; the
+  ``"auto"`` spelling defers to :func:`autotune_precision`, which picks
+  float32 once a kernel bank's own truncation error provably dominates the
+  dtype error (measured once per bank).
 
 Usage
 -----
@@ -59,31 +67,48 @@ from .fft import (
     FFT_WORKERS_ENV_VAR,
     FFTBackend,
     NumpyFFTBackend,
+    PlanCacheStats,
     ScipyFFTBackend,
     available_backends,
     available_cpus,
     default_fft_workers,
     get_backend,
     register_backend,
-    register_cupy_backend,
     register_pyfftw_backend,
     registered_backends,
 )
+from .array_module import (
+    ArrayModule,
+    DeviceMixingError,
+    FakeDeviceArray,
+    FakeGpuArrayModule,
+    HostArrayModule,
+    TransferStats,
+    as_array_module,
+    register_cupy_backend,
+)
 from .precision import (
+    AUTO_PRECISION,
     FLOAT32,
     FLOAT64,
     PRECISION_ENV_VAR,
     Precision,
+    autotune_precision,
     available_precisions,
+    is_auto_precision,
     resolve_precision,
 )
 
 __all__ = [
-    "FFTBackend", "NumpyFFTBackend", "ScipyFFTBackend",
+    "FFTBackend", "NumpyFFTBackend", "ScipyFFTBackend", "PlanCacheStats",
     "get_backend", "register_backend", "registered_backends",
     "available_backends", "available_cpus", "default_fft_workers",
     "register_pyfftw_backend", "register_cupy_backend",
     "FFT_BACKEND_ENV_VAR", "FFT_WORKERS_ENV_VAR",
+    "ArrayModule", "HostArrayModule", "FakeGpuArrayModule",
+    "FakeDeviceArray", "DeviceMixingError", "TransferStats",
+    "as_array_module",
     "Precision", "FLOAT32", "FLOAT64", "resolve_precision",
     "available_precisions", "PRECISION_ENV_VAR",
+    "AUTO_PRECISION", "is_auto_precision", "autotune_precision",
 ]

@@ -20,17 +20,22 @@ listing the registered names — for anything unknown.
 
 GPU / FFTW hooks
 ----------------
-:func:`register_backend` is the extension point.  A pyFFTW or CuPy backend
-only has to provide the four transform methods and a ``name``; see
-:func:`register_pyfftw_backend` / :func:`register_cupy_backend` for
-ready-made adapters that activate when the library is installed (they are
-documented stubs on machines without the dependency — importing this module
-never requires anything beyond numpy).
+:func:`register_backend` is the extension point.  A third-party backend only
+has to provide the four transform methods and a ``name``; see
+:func:`register_pyfftw_backend` (explicit FFTW plan cache, below) and
+:func:`repro.backend.array_module.register_cupy_backend` (the resident GPU
+module) for ready-made adapters that activate when the library is installed
+(they are documented stubs on machines without the dependency — importing
+this module never requires anything beyond numpy).  Backends that also want
+device residency implement the wider
+:class:`~repro.backend.array_module.ArrayModule` interface — the ``fakegpu``
+module registered there proves residency on CI without hardware.
 """
 
 from __future__ import annotations
 
 import os
+from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
@@ -256,83 +261,113 @@ register_backend("scipy", _scipy_factory)
 # --------------------------------------------------------------------------- #
 # optional third-party backends (documented hooks)
 # --------------------------------------------------------------------------- #
+@dataclass
+class PlanCacheStats:
+    """Hit/miss counters of a :class:`PyFFTWBackend`'s explicit plan cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        self.hits = self.misses = 0
+
+
 def register_pyfftw_backend() -> None:
     """Register a pyFFTW backend under the name ``pyfftw``.
 
     Documented stub on machines without pyFFTW: calling it raises
-    ``ImportError`` with instructions, and nothing is registered.  With
-    pyFFTW installed, the adapter routes through ``pyfftw.interfaces.numpy_fft``
-    with the plan cache enabled — FFTW's planned transforms are typically
-    1.5-3x faster than pocketfft on large repeated shapes.
+    ``ImportError`` with instructions, and nothing is registered.
+
+    With pyFFTW installed, the backend keeps an **explicit plan cache keyed
+    by (transform kind, shape, dtype, output size)** instead of leaning on
+    the global ``pyfftw.interfaces`` cache: the batched SOCS hot loop calls
+    the same handful of (shape, dtype) combinations thousands of times, so
+    each FFTW plan — measured once with ``FFTW_MEASURE`` — is reused for the
+    life of the backend instance, never times out, and its hit/miss counts
+    are observable via :attr:`PyFFTWBackend.plan_stats` (the backend-matrix
+    benchmark records the warm-vs-cold ``plan_cache_speedup``).  Norm scaling
+    is applied outside the plan (numpy conventions), so one plan serves every
+    ``norm=``.
     """
     try:
         import pyfftw
-        import pyfftw.interfaces.numpy_fft as fftw_fft
+        import pyfftw.builders as fftw_builders
     except ImportError as exc:  # pragma: no cover - optional dependency
         raise ImportError(
             "pyFFTW is not installed; `pip install pyfftw` and call "
             "register_pyfftw_backend() again (or register your own adapter "
             "via register_backend)") from exc
 
-    pyfftw.interfaces.cache.enable()
-
     class PyFFTWBackend(FFTBackend):  # pragma: no cover - optional dependency
         name = "pyfftw"
 
         def __init__(self, workers: Optional[int] = None):
-            self.workers = workers
+            self.workers = workers if workers else default_fft_workers()
+            #: (kind, shape, dtype, s) -> planned FFTW object.  Unbounded on
+            #: purpose: the engine's chunk shapes are a handful per run, and
+            #: a plan is exactly what we never want to re-measure.
+            self._plans: Dict[Tuple, object] = {}
+            self.plan_stats = PlanCacheStats()
 
-        def _threads(self) -> int:
-            return self.workers if self.workers else default_fft_workers()
+        def _plan(self, kind: str, array: np.ndarray,
+                  s: Optional[Tuple[int, int]] = None):
+            key = (kind, array.shape, array.dtype.str, s)
+            plan = self._plans.get(key)
+            if plan is None:
+                self.plan_stats.misses += 1
+                builder = getattr(fftw_builders, kind)
+                kwargs = dict(threads=self.workers,
+                              planner_effort="FFTW_MEASURE")
+                if s is not None:
+                    kwargs["s"] = s
+                if kind in ("ifft2", "irfft2"):
+                    # Unnormalised inverse: numpy norm scaling happens below,
+                    # uniformly for every transform kind.
+                    kwargs["normalise_idft"] = False
+                plan = builder(array, **kwargs)
+                self._plans[key] = plan
+            else:
+                self.plan_stats.hits += 1
+            return plan
+
+        @staticmethod
+        def _scale(result: np.ndarray, samples: int, norm: Optional[str],
+                   inverse: bool) -> np.ndarray:
+            # FFTW is unnormalised both ways; apply the numpy conventions.
+            if norm == "ortho":
+                factor = 1.0 / float(np.sqrt(samples))
+            elif norm == "forward":
+                factor = 1.0 if inverse else 1.0 / samples
+            else:  # numpy's default "backward"
+                factor = 1.0 / samples if inverse else 1.0
+            if factor == 1.0:
+                # The plan owns its output buffer; hand the caller a copy so
+                # the next transform of this shape cannot alias it.
+                return result.copy()
+            return result * result.real.dtype.type(factor)
 
         def fft2(self, array, norm=None):
-            return fftw_fft.fft2(array, norm=norm, threads=self._threads())
+            array = np.asarray(array)
+            samples = array.shape[-2] * array.shape[-1]
+            return self._scale(self._plan("fft2", array)(array), samples,
+                               norm, inverse=False)
 
         def ifft2(self, array, norm=None):
-            return fftw_fft.ifft2(array, norm=norm, threads=self._threads())
+            array = np.asarray(array)
+            samples = array.shape[-2] * array.shape[-1]
+            return self._scale(self._plan("ifft2", array)(array), samples,
+                               norm, inverse=True)
 
         def rfft2(self, array, norm=None):
-            return fftw_fft.rfft2(array, norm=norm, threads=self._threads())
+            array = np.asarray(array)
+            samples = array.shape[-2] * array.shape[-1]
+            return self._scale(self._plan("rfft2", array)(array), samples,
+                               norm, inverse=False)
 
         def irfft2(self, array, s, norm=None):
-            return fftw_fft.irfft2(array, s=s, norm=norm, threads=self._threads())
+            array = np.asarray(array)
+            s = (int(s[0]), int(s[1]))
+            return self._scale(self._plan("irfft2", array, s=s)(array),
+                               s[0] * s[1], norm, inverse=True)
 
     register_backend("pyfftw", lambda workers: PyFFTWBackend(workers=workers))
-
-
-def register_cupy_backend() -> None:
-    """Register a CuPy (GPU) backend under the name ``cupy``.
-
-    Documented stub on machines without CuPy/CUDA.  The adapter keeps the
-    host<->device boundary at the backend seam: arrays go up per call and
-    results come back as numpy arrays, so every consumer stays device
-    agnostic.  For peak GPU throughput a future revision should keep whole
-    chunks resident on the device (kernel product + reduction included) — the
-    backend protocol is the place to grow that.
-    """
-    try:
-        import cupy
-    except ImportError as exc:  # pragma: no cover - optional dependency
-        raise ImportError(
-            "CuPy is not installed; install a cupy-cuda* wheel matching your "
-            "CUDA toolkit and call register_cupy_backend() again") from exc
-
-    class CupyFFTBackend(FFTBackend):  # pragma: no cover - optional dependency
-        name = "cupy"
-
-        def __init__(self, workers: Optional[int] = None):
-            self.workers = workers  # unused: cuFFT parallelism is implicit
-
-        def fft2(self, array, norm=None):
-            return cupy.asnumpy(cupy.fft.fft2(cupy.asarray(array), norm=norm))
-
-        def ifft2(self, array, norm=None):
-            return cupy.asnumpy(cupy.fft.ifft2(cupy.asarray(array), norm=norm))
-
-        def rfft2(self, array, norm=None):
-            return cupy.asnumpy(cupy.fft.rfft2(cupy.asarray(array), norm=norm))
-
-        def irfft2(self, array, s, norm=None):
-            return cupy.asnumpy(cupy.fft.irfft2(cupy.asarray(array), s=s, norm=norm))
-
-    register_backend("cupy", lambda workers: CupyFFTBackend(workers=workers))

@@ -14,7 +14,11 @@ chunk.  A :class:`Precision` names the dtype pair every layer agrees on:
 
 ``float64`` stays the default everywhere; ``float32`` is strictly opt-in
 (constructor argument, ``--precision`` on the CLI, or the
-``REPRO_PRECISION`` environment variable).
+``REPRO_PRECISION`` environment variable).  A third spelling, ``auto``,
+defers the choice to :func:`autotune_precision`: once a kernel bank is known,
+float32 is picked exactly when the bank's own SOCS truncation error already
+dominates the float32 dtype error — measured once per bank, resolved to a
+concrete policy before any worker sees it.
 """
 
 from __future__ import annotations
@@ -25,6 +29,11 @@ from typing import Optional, Union
 import numpy as np
 
 PRECISION_ENV_VAR = "REPRO_PRECISION"
+
+#: The deferred spelling: engines resolve it per kernel bank via
+#: :func:`autotune_precision`; :func:`resolve_precision` refuses it (no bank
+#: in sight) with a pointer to the places that accept it.
+AUTO_PRECISION = "auto"
 
 
 @dataclass(frozen=True)
@@ -70,13 +79,53 @@ def available_precisions() -> tuple:
     return tuple(sorted(_PRECISIONS))
 
 
+def is_auto_precision(precision: Optional[Union[str, "Precision", np.dtype, type]]
+                      = None) -> bool:
+    """Whether the requested precision is the deferred ``auto`` policy.
+
+    ``None`` consults ``REPRO_PRECISION`` — so ``REPRO_PRECISION=auto`` works
+    everywhere a kernel bank is in reach (engine construction, specs, CLI).
+    """
+    import os
+
+    if precision is None:
+        precision = os.environ.get(PRECISION_ENV_VAR) or ""
+    return isinstance(precision, str) and \
+        precision.strip().lower() == AUTO_PRECISION
+
+
+def autotune_precision(kernels: np.ndarray) -> Precision:
+    """Pick float32 when SOCS truncation error already dominates dtype error.
+
+    A truncated SOCS bank carries an intrinsic model error of the order of
+    the weakest retained kernel's energy share — the eigenvalue tail the
+    truncation dropped is at most about that large.  When that share is at
+    or above the float32 policy's documented aerial tolerance
+    (:attr:`Precision.aerial_rtol`), dropping to single precision adds
+    nothing measurable to the total error, so the cheaper dtype pair wins;
+    banks truncated tighter than float32 resolution stay float64.  The
+    measurement is one reduction over the bank — done once per bank, at
+    engine construction / spec normalisation, never per chunk.
+    """
+    kernels = np.asarray(kernels)
+    if kernels.ndim != 3:
+        raise ValueError("kernels must have shape (r, n, m)")
+    energies = np.sum(np.abs(kernels.astype(np.complex128)) ** 2, axis=(1, 2))
+    total = float(np.sum(energies))
+    if total <= 0.0:
+        return FLOAT64
+    truncation_share = float(np.min(energies)) / total
+    return FLOAT32 if truncation_share >= FLOAT32.aerial_rtol else FLOAT64
+
+
 def resolve_precision(precision: Optional[Union[str, "Precision", np.dtype, type]] = None,
                       ) -> Precision:
     """Resolve any reasonable spelling of a precision to its policy object.
 
     ``None`` consults the ``REPRO_PRECISION`` environment variable and falls
     back to :data:`FLOAT64`.  Unknown names fail loudly with the list of
-    supported precisions.
+    supported precisions; the deferred ``auto`` spelling is rejected here
+    with a pointer to the bank-aware resolvers.
     """
     import os
 
@@ -86,6 +135,12 @@ def resolve_precision(precision: Optional[Union[str, "Precision", np.dtype, type
         return precision
     if isinstance(precision, str):
         key = precision.strip().lower()
+        if key == AUTO_PRECISION:
+            raise ValueError(
+                "precision 'auto' needs a kernel bank to measure truncation "
+                "error against; pass it to ExecutionEngine / EngineSpec / "
+                "the CLI --precision flag (resolved via autotune_precision) "
+                "instead of resolve_precision")
         if key in _PRECISIONS:
             return _PRECISIONS[key]
         if key in _ALIASES:

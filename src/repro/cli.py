@@ -468,9 +468,13 @@ def _add_compute_options(parser: argparse.ArgumentParser) -> None:
                         help="threads per FFT for multi-threaded backends; "
                              "0 = backend default (REPRO_FFT_WORKERS or all "
                              "available CPUs)")
-    parser.add_argument("--precision", default="", choices=("", "float64", "float32"),
+    parser.add_argument("--precision", default="",
+                        choices=("", "float64", "float32", "auto"),
                         help="imaging precision; float32 halves memory traffic "
-                             "and doubles the chunked batch size "
+                             "and doubles the chunked batch size; auto picks "
+                             "float32 when the kernel bank's own SOCS "
+                             "truncation error dominates the dtype error "
+                             "(measured once per bank) "
                              "(default: REPRO_PRECISION or float64)")
     parser.add_argument("--tile-cache", action=argparse.BooleanOptionalAction,
                         default=None,

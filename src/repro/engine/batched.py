@@ -31,6 +31,13 @@ Every transform goes through the pluggable compute backend
   dtype decision through the pipeline; float32 halves every byte moved, and
   because the chunk budget is denominated in **bytes** the effective batch
   size per chunk doubles.
+* **Device residency** — when the backend is a resident
+  :class:`~repro.backend.ArrayModule` (cupy, or the CI-testable ``fakegpu``),
+  each chunk pays exactly one host->device upload and one device->host
+  download; spectra, kernel products, fields, the ``|field|^2`` reduction
+  and the Fourier upsampling all run in the module's namespace on the
+  device.  Host modules route the identical expressions through numpy, so
+  host results are bit-for-bit unchanged.
 
 Memory is bounded by chunking the batch axis so the intermediate
 ``(B, r, ...)`` product array never exceeds ``max_chunk_bytes``; within a
@@ -43,7 +50,14 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from ..backend import FFTBackend, Precision, get_backend, resolve_precision
+from ..backend import (
+    ArrayModule,
+    FFTBackend,
+    Precision,
+    as_array_module,
+    get_backend,
+    resolve_precision,
+)
 from ..optics.aerial import mask_spectrum
 from ..optics.grid import embed_centre_unshifted
 
@@ -69,32 +83,42 @@ def _as_kernel_stack(kernels: np.ndarray, precision: Precision) -> np.ndarray:
     return kernels
 
 
-def _direct_chunk(masks: np.ndarray, kernels: np.ndarray,
-                  out_h: int, out_w: int,
-                  backend: FFTBackend, real_fft: bool) -> np.ndarray:
-    """Plain batched evaluation at full output resolution (reference path)."""
+def _direct_chunk(masks, kernels, out_h: int, out_w: int,
+                  xp: ArrayModule, real_fft: bool):
+    """Plain batched evaluation at full output resolution (reference path).
+
+    ``xp`` is the array module the chunk lives in: a host module leaves
+    every expression bit-for-bit the historical numpy code; a device module
+    (cupy / fakegpu) receives device-resident ``masks`` / ``kernels`` and
+    returns a device-resident intensity chunk — no transfer happens here.
+    """
     n, m = kernels.shape[-2], kernels.shape[-1]
-    spectra = mask_spectrum(masks, (n, m), backend=backend,
+    spectra = mask_spectrum(masks, (n, m), backend=xp,
                             real_fft=None if real_fft else False)  # (B, n, m)
     products = kernels[None, :, :, :] * spectra[:, None, :, :]  # (B, r, n, m)
-    embedded = embed_centre_unshifted(products, out_h, out_w)
-    fields = backend.ifft2(embedded, norm="ortho")
-    return np.sum(np.abs(fields) ** 2, axis=1)
+    embedded = embed_centre_unshifted(products, out_h, out_w, xp=xp)
+    fields = xp.ifft2(embedded, norm="ortho")
+    return xp.abs2_sum(fields, axis=1)
 
 
-def _band_limited_chunk(masks: np.ndarray, kernels: np.ndarray,
-                        out_h: int, out_w: int,
-                        backend: FFTBackend, real_fft: bool) -> np.ndarray:
-    """Exact evaluation on the intensity band-limit grid + Fourier upsampling."""
+def _band_limited_chunk(masks, kernels, out_h: int, out_w: int,
+                        xp: ArrayModule, real_fft: bool):
+    """Exact evaluation on the intensity band-limit grid + Fourier upsampling.
+
+    Like :func:`_direct_chunk`, the whole pipeline — spectrum, kernel
+    product, fields, ``|field|^2`` reduction, upsampling — runs inside
+    ``xp``'s namespace, so a device chunk stays resident end to end (the
+    satellite that removed the raw ``np.fft.fftshift`` from this loop).
+    """
     n, m = kernels.shape[-2], kernels.shape[-1]
     small_h, small_w = 2 * n, 2 * m
 
-    spectra = mask_spectrum(masks, (n, m), backend=backend,
+    spectra = mask_spectrum(masks, (n, m), backend=xp,
                             real_fft=None if real_fft else False)
     products = kernels[None, :, :, :] * spectra[:, None, :, :]
-    embedded = embed_centre_unshifted(products, small_h, small_w)
-    fields = backend.ifft2(embedded, norm="ortho")
-    small = np.sum(np.abs(fields) ** 2, axis=1)               # (B, 2n, 2m)
+    embedded = embed_centre_unshifted(products, small_h, small_w, xp=xp)
+    fields = xp.ifft2(embedded, norm="ortho")
+    small = xp.abs2_sum(fields, axis=1)                       # (B, 2n, 2m)
 
     # The intensity spectrum occupies (2n - 1) x (2m - 1) centred samples, so
     # zero-padding it to (out_h, out_w) is an exact sinc interpolation.  The
@@ -107,17 +131,17 @@ def _band_limited_chunk(masks: np.ndarray, kernels: np.ndarray,
         # placing the n positive- and n negative-frequency row blocks at the
         # target's corners is the same zero-padding — without ever forming
         # the full spectrum or shifting it.
-        half = backend.rfft2(small, norm="forward")           # (B, 2n, m + 1)
-        padded = np.zeros(small.shape[:-2] + (out_h, out_w // 2 + 1),
+        half = xp.rfft2(small, norm="forward")                # (B, 2n, m + 1)
+        padded = xp.zeros(small.shape[:-2] + (out_h, out_w // 2 + 1),
                           dtype=half.dtype)
         padded[..., :n, :m + 1] = half[..., :n, :]
         padded[..., out_h - n:, :m + 1] = half[..., n:, :]
-        upsampled = backend.irfft2(padded, s=(out_h, out_w), norm="forward")
+        upsampled = xp.irfft2(padded, s=(out_h, out_w), norm="forward")
     else:
-        spectrum = np.fft.fftshift(backend.fft2(small, norm="forward"),
-                                   axes=(-2, -1))
-        padded = embed_centre_unshifted(spectrum, out_h, out_w)
-        upsampled = np.real(backend.ifft2(padded, norm="forward"))
+        spectrum = xp.fftshift(xp.fft2(small, norm="forward"),
+                               axes=(-2, -1))
+        padded = embed_centre_unshifted(spectrum, out_h, out_w, xp=xp)
+        upsampled = xp.real(xp.ifft2(padded, norm="forward"))
     scale = (small_h * small_w) / float(out_h * out_w)
     return upsampled * small.dtype.type(scale)
 
@@ -166,6 +190,7 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
                                 backend: Optional[Union[FFTBackend, str]] = None,
                                 precision: Optional[Union[Precision, str]] = None,
                                 real_fft: bool = True,
+                                out: Optional[np.ndarray] = None,
                                 ) -> np.ndarray:
     """Aerial images of a mask batch ``(B, H, W)`` -> ``(B, H, W)``.
 
@@ -175,7 +200,10 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
         Real mask batch ``(B, H, W)``; any real dtype is accepted.
     kernels:
         Complex frequency-domain kernel stack ``(r, n, m)`` (centred DC),
-        each kernel already scaled by ``sqrt(eigenvalue)``.
+        each kernel already scaled by ``sqrt(eigenvalue)``.  May already be
+        a **device array** of the backend's module (the engine uploads its
+        bank once and passes it here), in which case its dtype must match
+        ``precision`` and no per-call upload happens.
     output_shape:
         Resolution of the returned aerial images; defaults to the mask shape.
     band_limited:
@@ -188,7 +216,11 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
         :data:`DEFAULT_MAX_CHUNK_BYTES`.
     backend:
         FFT backend (instance or registered name); ``None`` resolves the
-        default (``REPRO_FFT_BACKEND`` / auto).
+        default (``REPRO_FFT_BACKEND`` / auto).  A backend that is a
+        device-resident :class:`~repro.backend.ArrayModule` (cupy, fakegpu)
+        switches the loop below to the resident flow: **one upload per mask
+        chunk, one download per aerial chunk**, every intermediate staying
+        on the device.
     precision:
         Precision policy (:class:`~repro.backend.Precision` or name);
         ``None`` resolves the default (``REPRO_PRECISION`` / float64).
@@ -197,12 +229,26 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
         upsampling transforms (default).  ``False`` retains the full
         complex-spectrum path — the property tests pin the two equal to
         ~1e-12 relative in float64.
+    out:
+        Optional preallocated ``(B, H, W)`` host array (the streaming path's
+        reusable — on CUDA, pinned — staging buffer) the results are written
+        into; returned when given.  Results are identical either way.
     """
     if backend is None or isinstance(backend, str):
         backend = get_backend(backend)
+    xp = as_array_module(backend)
     precision = resolve_precision(precision)
     masks = _as_mask_batch(masks, precision)
-    kernels = _as_kernel_stack(kernels, precision)
+    device_kernels = xp.is_device_array(kernels)
+    if device_kernels:
+        if np.dtype(kernels.dtype) != precision.complex_dtype:
+            raise ValueError(
+                f"device kernel bank dtype {kernels.dtype} does not match "
+                f"precision {precision.name}; cast before uploading")
+        if len(kernels.shape) != 3:
+            raise ValueError("kernels must have shape (r, n, m)")
+    else:
+        kernels = _as_kernel_stack(kernels, precision)
     batch = masks.shape[0]
     out_h, out_w = masks.shape[-2:] if output_shape is None else output_shape
     order, n, m = kernels.shape
@@ -210,19 +256,56 @@ def batched_aerial_from_kernels(masks: np.ndarray, kernels: np.ndarray,
     use_fast = band_limited and 2 * n <= out_h and 2 * m <= out_w
     evaluate = _band_limited_chunk if use_fast else _direct_chunk
 
-    if batch == 0:
-        return np.zeros((0, out_h, out_w), dtype=precision.real_dtype)
+    if out is not None:
+        if tuple(out.shape) != (batch, out_h, out_w):
+            raise ValueError(
+                f"out has shape {tuple(out.shape)}, expected "
+                f"{(batch, out_h, out_w)}")
+        if np.dtype(out.dtype) != precision.real_dtype:
+            raise ValueError(
+                f"out has dtype {out.dtype}, expected {precision.real_dtype}")
 
-    chunk = effective_chunk_tiles(batch, kernels.shape, out_h, out_w,
+    if batch == 0:
+        return out if out is not None \
+            else np.zeros((0, out_h, out_w), dtype=precision.real_dtype)
+
+    chunk = effective_chunk_tiles(batch, (order, n, m), out_h, out_w,
                                   band_limited=band_limited,
                                   max_chunk_bytes=max_chunk_bytes,
                                   itemsize=precision.complex_itemsize)
-    if chunk >= batch:
-        return evaluate(masks, kernels, out_h, out_w, backend, real_fft)
-    pieces = [evaluate(masks[start:start + chunk], kernels, out_h, out_w,
-                       backend, real_fft)
-              for start in range(0, batch, chunk)]
-    return np.concatenate(pieces, axis=0)
+
+    if xp.is_resident:
+        # Device-resident flow: per chunk exactly ONE host->device transfer
+        # (the mask slice) and ONE device->host transfer (the finished
+        # intensity chunk, written straight into the result rows) — the
+        # kernel bank either arrived resident or goes up once per call.
+        if not device_kernels:
+            kernels = xp.asarray(kernels)
+        result = out if out is not None \
+            else np.empty((batch, out_h, out_w), dtype=precision.real_dtype)
+        for start in range(0, batch, chunk):
+            stop = min(start + chunk, batch)
+            chunk_masks = xp.asarray(masks[start:stop])
+            device_chunk = evaluate(chunk_masks, kernels, out_h, out_w,
+                                    xp, real_fft)
+            xp.to_host(device_chunk, out=result[start:stop])
+        return result
+
+    # Host flow: bit-for-bit the historical numpy/scipy code (the host
+    # module's ops ARE the numpy functions; no staging copies unless the
+    # caller provided an ``out`` to fill).
+    if out is None:
+        if chunk >= batch:
+            return evaluate(masks, kernels, out_h, out_w, xp, real_fft)
+        pieces = [evaluate(masks[start:start + chunk], kernels, out_h, out_w,
+                           xp, real_fft)
+                  for start in range(0, batch, chunk)]
+        return np.concatenate(pieces, axis=0)
+    for start in range(0, batch, chunk):
+        stop = min(start + chunk, batch)
+        out[start:stop] = evaluate(masks[start:stop], kernels, out_h, out_w,
+                                   xp, real_fft)
+    return out
 
 
 def batched_resist_from_kernels(masks: np.ndarray, kernels: np.ndarray,

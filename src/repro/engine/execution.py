@@ -24,12 +24,22 @@ learned Nitho kernels, anything of shape ``(r, n, m)`` — and provides:
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from ..backend import FFTBackend, Precision, get_backend, resolve_precision
+from ..backend import (
+    FLOAT64,
+    FFTBackend,
+    Precision,
+    as_array_module,
+    autotune_precision,
+    get_backend,
+    is_auto_precision,
+    resolve_precision,
+)
 from ..optics.resist import ConstantThresholdResist
 from .batched import (
     DEFAULT_MAX_CHUNK_BYTES,
@@ -47,6 +57,43 @@ from .tiling import (
     plan_tiles,
     stitch_tiles,
 )
+
+
+# --------------------------------------------------------------------------- #
+# device-resident kernel banks
+# --------------------------------------------------------------------------- #
+#: Most device banks the process-wide memo retains (LRU).  A campaign visits
+#: one bank per (focus, precision); an evicted bank re-uploads in one
+#: transfer, whereas an unbounded memo would pin every bank of a long sweep
+#: in device memory.
+DEVICE_BANK_LIMIT = 8
+
+#: (kernel fingerprint, device tag) -> device-resident kernel bank.  The
+#: device-side mirror of :class:`~repro.engine.cache.KernelBankCache`: keyed
+#: by content + device so every engine sharing a bank (and backend module)
+#: shares ONE upload — the transfer-count tests pin "bank uploaded once per
+#: fingerprint, not once per chunk or per batch".
+_DEVICE_BANKS: "OrderedDict[Tuple[str, str], object]" = OrderedDict()
+
+
+def device_kernel_bank(module, fingerprint: str, kernels: np.ndarray):
+    """The device-resident copy of ``kernels``, uploaded at most once.
+
+    ``module`` is a resident :class:`~repro.backend.ArrayModule`; the memo
+    key pairs the engine's kernel fingerprint with the module's device tag,
+    so distinct devices (or dtypes — the fingerprint hashes dtype + bytes)
+    never share a bank.
+    """
+    key = (fingerprint, f"{module.name}:{module.device}")
+    bank = _DEVICE_BANKS.get(key)
+    if bank is None:
+        bank = module.asarray(kernels)
+        _DEVICE_BANKS[key] = bank
+        while len(_DEVICE_BANKS) > DEVICE_BANK_LIMIT:
+            _DEVICE_BANKS.popitem(last=False)
+    else:
+        _DEVICE_BANKS.move_to_end(key)
+    return bank
 
 
 @dataclass(frozen=True)
@@ -85,7 +132,11 @@ class ExecutionEngine:
             raise ValueError("kernels must have shape (r, n, m)")
         #: Precision policy of every array this engine touches (masks cast on
         #: the way in, kernels cast once here, intensities come back real).
-        self.precision = resolve_precision(precision)
+        #: The deferred ``"auto"`` spelling is resolved right here, against
+        #: this bank: float32 exactly when the bank's SOCS truncation error
+        #: already dominates the float32 dtype error (measured once).
+        self.precision = autotune_precision(kernels) \
+            if is_auto_precision(precision) else resolve_precision(precision)
         if isinstance(fft_backend, FFTBackend):
             if fft_workers is not None:
                 raise ValueError(
@@ -122,7 +173,11 @@ class ExecutionEngine:
         ``source`` / ``pupil`` default to the golden simulator's defaults
         (annular illumination, ideal pupil plus the configured defocus).
         ``precision`` keys the cache lookup, so a float32 engine receives a
-        complex64 bank and never re-casts per batch.
+        complex64 bank and never re-casts per batch.  ``"auto"`` first pulls
+        the float64 master bank (computed at most once per fingerprint
+        anyway), autotunes against it, then fetches the bank at the chosen
+        precision — a float32 verdict costs one cached cast, never a second
+        decomposition.
         """
         from ..optics.pupil import Pupil
         from ..optics.source import AnnularSource
@@ -132,7 +187,12 @@ class ExecutionEngine:
         # "cache or default" would discard an *empty* injected cache, because
         # KernelBankCache defines __len__ and a fresh cache is falsy.
         cache = default_kernel_cache() if cache is None else cache
-        precision = resolve_precision(precision)
+        if is_auto_precision(precision):
+            master = cache.get_kernels(config, source, pupil,
+                                       precision=FLOAT64)
+            precision = autotune_precision(master.kernels)
+        else:
+            precision = resolve_precision(precision)
         bank = cache.get_kernels(config, source, pupil, precision=precision)
         kwargs.setdefault("resist_threshold", config.resist_threshold)
         kwargs.setdefault("tile_size_px", config.tile_size_px)
@@ -203,15 +263,29 @@ class ExecutionEngine:
     # imaging
     # ------------------------------------------------------------------ #
     def aerial_batch(self, masks: np.ndarray,
-                     output_shape: Optional[Tuple[int, int]] = None) -> np.ndarray:
-        """Aerial images of a mask batch ``(B, H, W)`` in one vectorised pass."""
+                     output_shape: Optional[Tuple[int, int]] = None,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Aerial images of a mask batch ``(B, H, W)`` in one vectorised pass.
+
+        On a device-resident backend the kernel bank goes up through the
+        process-wide :func:`device_kernel_bank` memo — one upload per
+        (fingerprint, device), shared by every engine and every batch — and
+        each chunk pays exactly one mask upload + one intensity download.
+        ``out`` optionally receives the results (the streaming path's
+        reusable staging buffer); contents are identical either way.
+        """
         masks = np.stack([self.precision.as_real(mask) for mask in masks], axis=0) \
             if isinstance(masks, (list, tuple)) else self.precision.as_real(masks)
+        kernels = self.kernels
+        module = as_array_module(self.backend)
+        if module.is_resident:
+            kernels = device_kernel_bank(module, self.kernel_fingerprint(),
+                                         self.kernels)
         return batched_aerial_from_kernels(
-            masks, self.kernels, output_shape=output_shape,
+            masks, kernels, output_shape=output_shape,
             band_limited=self.band_limited,
             max_chunk_bytes=self.max_chunk_bytes,
-            backend=self.backend, precision=self.precision)
+            backend=self.backend, precision=self.precision, out=out)
 
     def aerial(self, mask: np.ndarray) -> np.ndarray:
         """Aerial image of one mask tile.
@@ -324,8 +398,24 @@ class ExecutionEngine:
                 or batch_tiles is not None:
             if batch_tiles is None:
                 batch_tiles = self.stream_batch_tiles(tiling)
+            image_batch = self.aerial_batch
+            module = as_array_module(self.backend)
+            if module.is_resident and self.tile_cache is None:
+                # Stage every device->host download through one reusable
+                # (pinned, where the module supports it) host buffer instead
+                # of allocating a fresh batch-sized array per batch.  The
+                # streamer fully consumes each batch (stitch + develop copy
+                # out of it) before requesting the next, so reuse is safe;
+                # with a tile cache it is NOT (TileResultCache retains row
+                # views of the returned batch), hence the gate above.
+                staging = module.empty_host(
+                    (batch_tiles, tiling.tile_px, tiling.tile_px),
+                    self.precision.real_dtype)
+
+                def image_batch(tiles, _staging=staging):
+                    return self.aerial_batch(tiles, out=_staging[:len(tiles)])
             aerial, resist, num_tiles = stream_image_layout(
-                layout, tiling, self.aerial_batch, self.resist_model.develop,
+                layout, tiling, image_batch, self.resist_model.develop,
                 self.precision.real_dtype, batch_tiles, out_dir=out_dir,
                 meta={"backend": self.backend.name,
                       "precision": self.precision.name},

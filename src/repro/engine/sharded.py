@@ -38,7 +38,13 @@ from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..backend import get_backend, resolve_precision
+from ..backend import (
+    FLOAT64,
+    autotune_precision,
+    get_backend,
+    is_auto_precision,
+    resolve_precision,
+)
 from ..optics.pupil import Pupil
 from ..optics.simulator import OpticsConfig
 from ..optics.source import AnnularSource, Source
@@ -62,7 +68,9 @@ class EngineSpec:
 
     The compute policy travels with the spec: ``fft_backend`` and
     ``precision`` are normalised to concrete names at construction (``None``
-    resolves the parent's environment, never the worker's), so every worker
+    resolves the parent's environment, never the worker's; ``"auto"``
+    autotunes against the cached float64 master bank right here), so every
+    worker
     reconstructs the exact same backend + precision as the parent —
     the sharded == serial bit-for-bit guarantee holds under every
     backend/precision combination.  ``fft_workers`` only affects wall-clock
@@ -93,8 +101,21 @@ class EngineSpec:
         # whose environment could differ.
         object.__setattr__(self, "fft_backend",
                            get_backend(self.fft_backend).name)
-        object.__setattr__(self, "precision",
-                           resolve_precision(self.precision).name)
+        if is_auto_precision(self.precision):
+            # Deferred "auto" resolves against the float64 master bank
+            # (served by the shared cache, so the decomposition happens at
+            # most once) and ships to workers as a concrete name — every
+            # worker runs the precision the PARENT measured.
+            source, pupil = self.resolved_optics()
+            cache = (KernelBankCache(cache_dir=self.cache_dir)
+                     if self.cache_dir else default_kernel_cache())
+            master = cache.get_kernels(self.config, source, pupil,
+                                       precision=FLOAT64)
+            object.__setattr__(self, "precision",
+                               autotune_precision(master.kernels).name)
+        else:
+            object.__setattr__(self, "precision",
+                               resolve_precision(self.precision).name)
         if self.dose is not None and self.dose <= 0:
             raise ValueError("dose must be positive")
 

@@ -15,6 +15,12 @@ stream so an arbitrarily large layout images in **O(tile-batch) RAM**:
    preallocated output — a plain array, or a ``numpy.memmap`` when an
    ``out_dir`` is given, so even the stitched result needn't fit in RAM.
 
+Because every batch is fully consumed (stitched + developed) before the next
+one is requested, a device-resident engine passes a single reusable host
+staging buffer as ``aerial_batch``'s ``out=`` — downloads land in pinned
+memory (where the backend provides it) and the per-batch host allocation
+disappears; ``ExecutionEngine.image_layout`` wires this up automatically.
+
 Bit-for-bit guarantee
 ---------------------
 Per-tile FFT work is independent of how the batch axis is chunked (the

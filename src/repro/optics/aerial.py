@@ -24,7 +24,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from ..backend import FFTBackend, get_backend
+from ..backend import FFTBackend, as_array_module, get_backend
 from .grid import crop_centre, embed_centre_unshifted
 
 
@@ -51,16 +51,24 @@ def mask_spectrum(mask: np.ndarray, kernel_shape: Optional[Tuple[int, int]] = No
 
     The two paths agree to ~1e-12 relative in float64 (the half-spectrum
     values are the same pocketfft sums gathered via Hermitian symmetry).
+
+    Device residency: with an :class:`~repro.backend.ArrayModule` backend and
+    a mask batch already living on its device, every op below — transform,
+    shift, crop, Hermitian gather — runs through the module, so the spectrum
+    comes back device-resident and nothing crosses the host boundary.  Host
+    masks keep today's host semantics verbatim (index arrays are host-side
+    metadata either way).
     """
     backend = backend or get_backend()
-    mask = np.asarray(mask)
+    xp = as_array_module(backend, like=mask)
+    mask = xp.asarray(mask)
     if real_fft is None:
-        real_fft = not np.iscomplexobj(mask)
-    elif real_fft and np.iscomplexobj(mask):
+        real_fft = not np.issubdtype(mask.dtype, np.complexfloating)
+    elif real_fft and np.issubdtype(mask.dtype, np.complexfloating):
         raise ValueError("real_fft=True requires a real-valued mask")
 
     if not real_fft:
-        spectrum = np.fft.fftshift(backend.fft2(mask, norm="ortho"), axes=(-2, -1))
+        spectrum = xp.fftshift(xp.fft2(mask, norm="ortho"), axes=(-2, -1))
         if kernel_shape is not None:
             spectrum = crop_centre(spectrum, kernel_shape[0], kernel_shape[1])
         return spectrum
@@ -70,17 +78,17 @@ def mask_spectrum(mask: np.ndarray, kernel_shape: Optional[Tuple[int, int]] = No
     if n > height or m > width:
         raise ValueError(f"crop ({n}, {m}) larger than input ({height}, {width})")
 
-    half = backend.rfft2(mask, norm="ortho")  # (..., H, W//2 + 1)
+    half = xp.rfft2(mask, norm="ortho")  # (..., H, W//2 + 1)
     # Gather the centred n x m window straight from the half spectrum: column
     # frequency c >= -(m//2); non-negative c reads the stored coefficient,
     # negative c its Hermitian mirror conj(F[-row, -col]).
     rows = (np.arange(n) - n // 2) % height
     cols = (np.arange(m) - m // 2) % width
-    out = np.empty(mask.shape[:-2] + (n, m), dtype=half.dtype)
+    out = xp.empty(mask.shape[:-2] + (n, m), dtype=half.dtype)
     direct = cols <= width // 2
     out[..., :, direct] = half[..., rows[:, None], cols[direct][None, :]]
     if not direct.all():
-        out[..., :, ~direct] = np.conj(
+        out[..., :, ~direct] = xp.conj(
             half[..., ((-rows) % height)[:, None], (width - cols[~direct])[None, :]])
     return out
 

@@ -87,7 +87,8 @@ def embed_centre(block: np.ndarray, height: int, width: int) -> np.ndarray:
     return out
 
 
-def embed_centre_unshifted(block: np.ndarray, height: int, width: int) -> np.ndarray:
+def embed_centre_unshifted(block: np.ndarray, height: int, width: int,
+                           xp=np) -> np.ndarray:
     """Embed a centred-DC ``block`` directly into an *unshifted* spectrum layout.
 
     Bit-for-bit equal to ``np.fft.ifftshift(embed_centre(block, height,
@@ -96,11 +97,16 @@ def embed_centre_unshifted(block: np.ndarray, height: int, width: int) -> np.nda
     corners instead of materialising the centred embedding and then moving
     every sample of the full-size array a second time.  This removes the
     per-chunk full-size ``ifftshift`` from the batched imaging hot loop.
+
+    ``xp`` is the array namespace the zero target is allocated in — numpy by
+    default, or an :class:`~repro.backend.ArrayModule` so a device-resident
+    ``block`` embeds into a device array without ever visiting the host (the
+    quadrant writes are plain slice assignments, valid on both).
     """
     bh, bw = block.shape[-2], block.shape[-1]
     if bh > height or bw > width:
         raise ValueError(f"block ({bh}, {bw}) larger than target ({height}, {width})")
-    out = np.zeros(block.shape[:-2] + (height, width), dtype=block.dtype)
+    out = xp.zeros(block.shape[:-2] + (height, width), dtype=block.dtype)
     # Block row i holds centred frequency i - bh//2: the first bh//2 rows are
     # negative frequencies (wrap to the bottom), the rest non-negative.
     neg_h, neg_w = bh // 2, bw // 2

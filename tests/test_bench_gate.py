@@ -61,6 +61,25 @@ class TestClassification:
         for key in ("cpus", "num_workers", "shape", "peak_bytes"):
             assert gate._classify(key, absolute=True) is None
 
+    def test_transfers_per_chunk_gated_lower_better(self):
+        assert gate._classify("transfers_per_chunk", absolute=False) == \
+            (False, True, 1.0)
+
+    def test_transfer_count_growth_fails_the_gate(self, dirs):
+        """A host detour raising transfers/chunk 2.0 -> 3.0 is a regression."""
+        baseline_dir, current_dir = dirs
+        _write(baseline_dir, "t.json", {"transfers_per_chunk": 2.0})
+        _write(current_dir, "t.json", {"transfers_per_chunk": 3.0})
+        comparisons, _ = gate.compare_directories(baseline_dir, current_dir)
+        report, code = gate.format_report(comparisons, [], 0.25)
+        assert code == 1
+        assert "FAIL" in report
+        # Fewer transfers (impossible, but the better direction) passes.
+        _write(current_dir, "t.json", {"transfers_per_chunk": 2.0})
+        comparisons, _ = gate.compare_directories(baseline_dir, current_dir)
+        _, code = gate.format_report(comparisons, [], 0.25)
+        assert code == 0
+
     def test_memory_ratio_gets_double_slack(self, dirs):
         """A 40% peak_memory_ratio drop passes (allocator noise); 60% fails."""
         baseline_dir, current_dir = dirs

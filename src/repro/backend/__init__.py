@@ -23,6 +23,12 @@ owns two orthogonal policies that the whole engine stack
   float32 once a kernel bank's own truncation error provably dominates the
   dtype error (measured once per bank).
 
+Both policies (plus the tile-cache and scheduler switches) bundle into one
+serialisable :class:`ComputeConfig` (see :mod:`repro.backend.config`) — the
+``compute=`` argument every engine-stack constructor accepts, and the JSON
+object campaign-service requests carry.  The loose per-knob kwargs remain
+accepted through a deprecation shim.
+
 Usage
 -----
 >>> import numpy as np
@@ -87,6 +93,13 @@ from .array_module import (
     as_array_module,
     register_cupy_backend,
 )
+from .config import (
+    SCHEDULER_ENV_VAR,
+    TILE_CACHE_DIR_ENV_VAR,
+    TILE_CACHE_ENV_VAR,
+    ComputeConfig,
+    apply_legacy_kwargs,
+)
 from .precision import (
     AUTO_PRECISION,
     FLOAT32,
@@ -111,4 +124,6 @@ __all__ = [
     "Precision", "FLOAT32", "FLOAT64", "resolve_precision",
     "available_precisions", "PRECISION_ENV_VAR",
     "AUTO_PRECISION", "is_auto_precision", "autotune_precision",
+    "ComputeConfig", "apply_legacy_kwargs",
+    "TILE_CACHE_ENV_VAR", "TILE_CACHE_DIR_ENV_VAR", "SCHEDULER_ENV_VAR",
 ]

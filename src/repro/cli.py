@@ -22,6 +22,10 @@ Subcommands cover the typical library workflow without writing any Python:
   summary, per-focus aerial thumbnails when memmaps were kept) straight from
   a ``--store`` directory, with **zero recomputation** — no engine is built,
   so it doubles as a progress monitor for a live campaign,
+* ``serve``      — run the campaign service: submit / monitor / cancel
+  process-window campaigns over HTTP (see :mod:`repro.service` and
+  ``docs/service.md``); campaigns persist through the resumable store, so a
+  killed server recomputes exactly the remainder on restart,
 * ``experiments``— run every table / figure driver (same as
   ``python -m repro.experiments.runner``).
 
@@ -38,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 from typing import List, Optional
@@ -134,49 +139,24 @@ def command_simulate(arguments) -> int:
     return 0
 
 
-def _load_layout_mask(path: str) -> np.ndarray:
-    if path.endswith(".npz"):
-        with np.load(path) as data:
-            key = "mask" if "mask" in data.files else data.files[0]
-            mask = np.asarray(data[key], dtype=float)
-    else:
-        mask = np.asarray(np.load(path), dtype=float)
-    if mask.ndim != 2:
-        raise ValueError(f"layout mask in {path} must be 2-D, got shape {mask.shape}")
-    return mask
-
-
 def _load_layout_source(path: str, pixel_size_nm: float):
-    """Dense raster (``.npy``/``.npz``) or windowed geometry reader (anything
-    :func:`repro.layout.is_layout_file` recognises — JSON / GDSII-text)."""
-    from .layout import is_layout_file, load_layout_file
+    """Dense raster (``.npy``/``.npz``) or windowed geometry reader — the
+    shared resolution path in :mod:`repro.layout.sources` (the campaign
+    service resolves its layout references through the same code)."""
+    from .layout import load_layout_source
 
-    if is_layout_file(path):
-        return load_layout_file(path, pixel_size_nm=pixel_size_nm)
-    return _load_layout_mask(path)
+    return load_layout_source(path, pixel_size_nm)
 
 
 def _synthesize_layout_mask(height_px: int, width_px: int, tile_size_px: int,
                             pixel_size_nm: float, family: str, seed: int) -> np.ndarray:
-    """Paste generator tiles onto an (height, width) canvas — a stand-in full layout."""
-    from .masks import ICCAD2013Generator, ISPDMetalGenerator, ISPDViaGenerator
+    from .layout import synthesize_layout_mask
 
-    generators = {"B1": ICCAD2013Generator, "B2m": ISPDMetalGenerator,
-                  "B2v": ISPDViaGenerator}
-    generator = generators[family](tile_size_px, pixel_size_nm, seed=seed)
-    rows = -(-height_px // tile_size_px)
-    cols = -(-width_px // tile_size_px)
-    tiles = generator.generate(rows * cols)
-    canvas = np.zeros((rows * tile_size_px, cols * tile_size_px))
-    for index, tile in enumerate(tiles):
-        row, col = divmod(index, cols)
-        canvas[row * tile_size_px:(row + 1) * tile_size_px,
-               col * tile_size_px:(col + 1) * tile_size_px] = tile
-    return canvas[:height_px, :width_px]
+    return synthesize_layout_mask(height_px, width_px, tile_size_px,
+                                  pixel_size_nm, family, seed)
 
 
 def command_image_layout(arguments) -> int:
-    import os
     import time
 
     from .engine import EngineSpec, ExecutionEngine, ShardedExecutor
@@ -195,16 +175,13 @@ def command_image_layout(arguments) -> int:
     config = OpticsConfig(tile_size_px=arguments.tile_size,
                           pixel_size_nm=arguments.pixel_size_nm)
     source = make_source(arguments.source) if arguments.source else None
-    scheduler = (arguments.scheduler
+    compute = _compute_from_args(arguments)
+    scheduler = (compute.scheduler
                  or os.environ.get("REPRO_SCHEDULER", "") or "serial")
     guard_px = arguments.guard if arguments.guard >= 0 else None
     if scheduler == "serial":
-        engine = ExecutionEngine.for_optics(
-            config, source=source,
-            fft_backend=arguments.fft_backend or None,
-            fft_workers=arguments.fft_workers or None,
-            precision=arguments.precision or None,
-            tile_cache=arguments.tile_cache)
+        engine = ExecutionEngine.for_optics(config, source=source,
+                                            compute=compute)
         tile_cache = engine.tile_cache
         start = time.perf_counter()
         result = engine.image_layout(mask, tile_px=arguments.tile_size,
@@ -213,14 +190,12 @@ def command_image_layout(arguments) -> int:
                                      out_dir=arguments.out or None)
         elapsed = time.perf_counter() - start
     else:
-        # pool / stealing: shard the tile batches across worker processes
-        # through the named scheduler (bit-for-bit the serial output).
-        spec = EngineSpec(config=config, source=source,
-                          fft_backend=arguments.fft_backend or None,
-                          fft_workers=arguments.fft_workers or None,
-                          precision=arguments.precision or None)
-        with ShardedExecutor(tile_cache=arguments.tile_cache,
-                             scheduler=scheduler) as executor:
+        # pool / stealing / service: shard the tile batches through the
+        # named scheduler (bit-for-bit the serial output).
+        spec = EngineSpec(config=config, source=source, compute=compute)
+        with ShardedExecutor(scheduler=scheduler,
+                             compute=compute.replace(scheduler=None),
+                             ) as executor:
             tile_cache = executor.tile_cache
             engine = executor.warm(spec)
             start = time.perf_counter()
@@ -270,7 +245,6 @@ def _parse_float_list(text: str, option: str) -> List[float]:
 
 
 def command_sweep_window(arguments) -> int:
-    import os
     import shutil
     import tempfile
 
@@ -314,14 +288,11 @@ def _run_sweep_window(arguments, grid, num_workers: int,
     config = OpticsConfig(tile_size_px=arguments.tile_size,
                           pixel_size_nm=arguments.pixel_size_nm)
     source = make_source(arguments.source) if arguments.source else None
+    compute = _compute_from_args(arguments)
     with ShardedExecutor(num_workers=num_workers, cache_dir=cache_dir,
-                         tile_cache=arguments.tile_cache,
-                         scheduler=arguments.scheduler or None) as executor:
-        sweep = ProcessWindowSweep(
-            config, source=source, executor=executor,
-            fft_backend=arguments.fft_backend or None,
-            fft_workers=arguments.fft_workers or None,
-            precision=arguments.precision or None)
+                         compute=compute) as executor:
+        sweep = ProcessWindowSweep(config, source=source, executor=executor,
+                                   compute=compute)
 
         # Build (or disk-load) the per-focus kernel banks and spin the worker
         # pool up before the timed campaign so the reported time — and any
@@ -380,9 +351,7 @@ def _run_sweep_window(arguments, grid, num_workers: int,
             config, source=source,
             executor=ShardedExecutor(num_workers=1, cache_dir=cache_dir,
                                      tile_cache=False),
-            fft_backend=arguments.fft_backend or None,
-            fft_workers=arguments.fft_workers or None,
-            precision=arguments.precision or None)
+            compute=compute.replace(tile_cache=None, scheduler=None))
         serial_start = time.perf_counter()
         serial_outcome = serial_sweep.run(
             mask, target_cd_nm=arguments.target_cd or None, grid=grid,
@@ -422,6 +391,8 @@ def command_campaign_report(arguments) -> int:
     from .sweep.report import (
         load_campaign_report,
         render_campaign_report,
+        render_campaign_report_html,
+        render_campaign_report_json,
         save_aerial_thumbnails,
     )
 
@@ -430,8 +401,13 @@ def command_campaign_report(arguments) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(render_campaign_report(
-        report, thumbnail_width=arguments.thumbnail_width))
+    if arguments.format == "json":
+        print(render_campaign_report_json(report))
+    elif arguments.format == "html":
+        print(render_campaign_report_html(report))
+    else:
+        print(render_campaign_report(
+            report, thumbnail_width=arguments.thumbnail_width))
     if arguments.thumbnails:
         paths = save_aerial_thumbnails(report, arguments.thumbnails)
         if paths:
@@ -440,6 +416,15 @@ def command_campaign_report(arguments) -> int:
         else:
             print("\nno stored aerials to render (run sweep-window with a "
                   "store that keeps aerials)", file=sys.stderr)
+    return 0
+
+
+def command_serve(arguments) -> int:
+    from .service import serve
+
+    serve(arguments.data_dir, host=arguments.host, port=arguments.port,
+          queue_workers=arguments.queue_workers or None,
+          campaign_workers=arguments.campaign_workers)
     return 0
 
 
@@ -486,15 +471,50 @@ def _add_compute_options(parser: argparse.ArgumentParser) -> None:
                              "REPRO_TILE_CACHE_DIR adds a disk tier that "
                              "persists across runs")
     parser.add_argument("--scheduler", default="",
-                        choices=("", "serial", "pool", "stealing"),
+                        choices=("", "serial", "pool", "stealing", "service"),
                         help="task scheduler for (condition, shard) work: "
                              "serial (in-process), pool (one task per shard "
                              "over the worker pool), stealing (finer "
                              "sub-tasks + parent-side work stealing across "
-                             "uneven shards); output is bit-for-bit "
-                             "identical under all three "
+                             "uneven shards), service (the campaign "
+                             "service's shared thread queue); output is "
+                             "bit-for-bit identical under all of them "
                              "(default: REPRO_SCHEDULER, else serial for "
                              "image-layout and pool for sweep-window)")
+    parser.add_argument("--compute-config", default="",
+                        help="whole compute policy as ComputeConfig JSON "
+                             "(inline, or @file.json to read a file), e.g. "
+                             "'{\"fft_backend\": \"numpy\", \"precision\": "
+                             "\"float32\"}'; explicit flags above override "
+                             "individual fields")
+
+
+def _compute_from_args(arguments):
+    """The unified :class:`~repro.backend.ComputeConfig` for a CLI run.
+
+    ``--compute-config`` (inline JSON or ``@file``) seeds the policy;
+    explicit per-field flags override it; anything still ``None`` falls
+    through to the consumers' ``REPRO_*`` environment defaults.
+    """
+    from .backend import ComputeConfig
+
+    text = getattr(arguments, "compute_config", "") or ""
+    if text.startswith("@"):
+        with open(text[1:], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    compute = ComputeConfig.from_json(text) if text.strip() else ComputeConfig()
+    overrides = {}
+    if arguments.fft_backend:
+        overrides["fft_backend"] = arguments.fft_backend
+    if arguments.fft_workers:
+        overrides["fft_workers"] = arguments.fft_workers
+    if arguments.precision:
+        overrides["precision"] = arguments.precision
+    if arguments.tile_cache is not None:
+        overrides["tile_cache"] = arguments.tile_cache
+    if arguments.scheduler:
+        overrides["scheduler"] = arguments.scheduler
+    return compute.replace(**overrides) if overrides else compute
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -667,14 +687,51 @@ def build_parser() -> argparse.ArgumentParser:
     campaign_report.add_argument("--store", required=True,
                                  help="campaign-store directory written by "
                                       "sweep-window --store")
+    campaign_report.add_argument("--format", default="text",
+                                 choices=("text", "json", "html"),
+                                 help="report rendering: the classic text "
+                                      "report, machine-readable JSON, or a "
+                                      "self-contained HTML page (the same "
+                                      "formats the campaign service serves)")
     campaign_report.add_argument("--thumbnail-width", type=int, default=0,
                                  help="render stored per-focus aerials as "
                                       "ASCII art this many columns wide "
-                                      "(0 = list files only)")
+                                      "(0 = list files only; text format "
+                                      "only)")
     campaign_report.add_argument("--thumbnails", default="",
                                  help="also write each stored aerial as an "
                                       "8-bit PGM into this directory")
     campaign_report.set_defaults(handler=command_campaign_report)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the campaign service: process-window campaigns over HTTP",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="examples:\n"
+               "  # serve campaigns on the default port\n"
+               "  repro serve --data-dir service_data\n"
+               "  # submit one from another shell (see repro.service.client)\n"
+               "  python -c \"from repro.service import ServiceClient; ...\"\n"
+               "\n"
+               "POST /campaigns submits a JSON campaign request; GET\n"
+               "/campaigns/{id}/report?format=json|html|text renders the\n"
+               "stored campaign with zero recomputation.  Campaigns persist\n"
+               "through the resumable store: a killed server recomputes\n"
+               "exactly the remainder on restart.  See docs/service.md.\n")
+    serve.add_argument("--data-dir", required=True,
+                       help="service state directory: campaign stores live "
+                            "under <data-dir>/campaigns/<id>, the shared "
+                            "kernel-bank cache under <data-dir>/kernel-cache")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: loopback only)")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port; 0 lets the OS pick one")
+    serve.add_argument("--queue-workers", type=int, default=0,
+                       help="threads in the shared imaging-task queue all "
+                            "campaigns drain through; 0 = all available CPUs")
+    serve.add_argument("--campaign-workers", type=int, default=2,
+                       help="how many campaigns may orchestrate concurrently")
+    serve.set_defaults(handler=command_serve)
 
     experiments = subparsers.add_parser("experiments", help="run every table / figure driver")
     _add_common(experiments)
@@ -687,7 +744,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except BrokenPipeError:
+        # stdout closed early (``campaign-report --format html | head``):
+        # exit quietly like any well-behaved pipeline stage.  Detach stdout
+        # so interpreter shutdown doesn't raise a second time on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 141  # 128 + SIGPIPE, the conventional shell status
 
 
 if __name__ == "__main__":

@@ -32,8 +32,10 @@ import numpy as np
 
 from ..backend import (
     FLOAT64,
+    ComputeConfig,
     FFTBackend,
     Precision,
+    apply_legacy_kwargs,
     as_array_module,
     autotune_precision,
     get_backend,
@@ -126,25 +128,54 @@ class ExecutionEngine:
                  fft_backend: Optional[Union[FFTBackend, str]] = None,
                  fft_workers: Optional[int] = None,
                  precision: Optional[Union[Precision, str]] = None,
-                 tile_cache=None):
+                 tile_cache=None,
+                 compute: Optional[ComputeConfig] = None):
         kernels = np.asarray(kernels)
         if kernels.ndim != 3:
             raise ValueError("kernels must have shape (r, n, m)")
+        # The loose per-knob kwargs are deprecated in favour of one
+        # serialisable ``compute=ComputeConfig(...)``.  Rich instances
+        # (FFTBackend / Precision / TileResultCache) are not expressible in
+        # a config — strip them out before the shim so they keep working
+        # warning-free.
+        backend_instance = fft_backend \
+            if isinstance(fft_backend, FFTBackend) else None
+        if backend_instance is not None:
+            fft_backend = None
+        precision_policy = precision if isinstance(precision, Precision) \
+            else None
+        if precision_policy is not None:
+            precision = None
+        tile_cache_obj = None
+        if tile_cache is not None and not isinstance(tile_cache, bool):
+            tile_cache_obj, tile_cache = tile_cache, None
+        compute = apply_legacy_kwargs(
+            compute, "ExecutionEngine", fft_backend=fft_backend,
+            fft_workers=fft_workers, precision=precision,
+            tile_cache=tile_cache)
+        #: The names-only compute policy this engine was built with (live
+        #: objects — an injected FFTBackend / Precision / TileResultCache —
+        #: live on :attr:`backend` / :attr:`precision` / :attr:`tile_cache`).
+        self.compute = compute
         #: Precision policy of every array this engine touches (masks cast on
         #: the way in, kernels cast once here, intensities come back real).
         #: The deferred ``"auto"`` spelling is resolved right here, against
         #: this bank: float32 exactly when the bank's SOCS truncation error
         #: already dominates the float32 dtype error (measured once).
+        requested_precision = precision_policy if precision_policy is not None \
+            else compute.precision
         self.precision = autotune_precision(kernels) \
-            if is_auto_precision(precision) else resolve_precision(precision)
-        if isinstance(fft_backend, FFTBackend):
-            if fft_workers is not None:
+            if is_auto_precision(requested_precision) \
+            else resolve_precision(requested_precision)
+        if backend_instance is not None:
+            if compute.fft_workers is not None:
                 raise ValueError(
                     "fft_workers cannot be applied to an already-constructed "
                     "FFTBackend instance; pass a backend name instead")
-            self.backend = fft_backend
+            self.backend = backend_instance
         else:
-            self.backend = get_backend(fft_backend, workers=fft_workers)
+            self.backend = get_backend(compute.fft_backend,
+                                       workers=compute.fft_workers)
         self.kernels = kernels.astype(self.precision.complex_dtype)
         self.resist_model = ConstantThresholdResist(resist_threshold)
         #: Tile size the kernel bank was calibrated for.  The kernels sample
@@ -157,7 +188,9 @@ class ExecutionEngine:
         #: Content-addressed tile-result cache (None = caching off).  A
         #: TileResultCache instance / True / False / None — None consults
         #: REPRO_TILE_CACHE / REPRO_TILE_CACHE_DIR (see resolve_tile_cache).
-        self.tile_cache = resolve_tile_cache(tile_cache)
+        self.tile_cache = resolve_tile_cache(
+            tile_cache_obj if tile_cache_obj is not None
+            else compute.tile_cache)
         self._kernel_fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------ #
@@ -167,6 +200,7 @@ class ExecutionEngine:
     def for_optics(cls, config, source=None, pupil=None,
                    cache: Optional[KernelBankCache] = None,
                    precision: Optional[Union[Precision, str]] = None,
+                   compute: Optional[ComputeConfig] = None,
                    **kwargs) -> "ExecutionEngine":
         """Engine for an optics description, kernels served by the shared cache.
 
@@ -177,7 +211,10 @@ class ExecutionEngine:
         the float64 master bank (computed at most once per fingerprint
         anyway), autotunes against it, then fetches the bank at the chosen
         precision — a float32 verdict costs one cached cast, never a second
-        decomposition.
+        decomposition.  ``compute`` carries the whole policy as one
+        :class:`~repro.backend.ComputeConfig` (its ``precision`` field is
+        honoured when the ``precision`` argument is unset); the loose
+        per-knob kwargs remain accepted via the constructor's shim.
         """
         from ..optics.pupil import Pupil
         from ..optics.source import AnnularSource
@@ -187,6 +224,8 @@ class ExecutionEngine:
         # "cache or default" would discard an *empty* injected cache, because
         # KernelBankCache defines __len__ and a fresh cache is falsy.
         cache = default_kernel_cache() if cache is None else cache
+        if precision is None and compute is not None:
+            precision = compute.precision
         if is_auto_precision(precision):
             master = cache.get_kernels(config, source, pupil,
                                        precision=FLOAT64)
@@ -196,7 +235,12 @@ class ExecutionEngine:
         bank = cache.get_kernels(config, source, pupil, precision=precision)
         kwargs.setdefault("resist_threshold", config.resist_threshold)
         kwargs.setdefault("tile_size_px", config.tile_size_px)
-        return cls(bank.kernels, precision=precision, **kwargs)
+        if compute is not None:
+            # Precision is passed as the resolved policy object below; a
+            # stale name in the config would shadow the autotune verdict.
+            compute = compute.replace(precision=None)
+        return cls(bank.kernels, precision=precision, compute=compute,
+                   **kwargs)
 
     # ------------------------------------------------------------------ #
     # kernel bank
@@ -223,8 +267,11 @@ class ExecutionEngine:
                           max_chunk_bytes=self.max_chunk_bytes,
                           fft_backend=self.backend,
                           precision=self.precision,
-                          tile_cache=self.tile_cache
-                          if self.tile_cache is not None else False)
+                          # A live cache is shared as-is; otherwise caching
+                          # stays off regardless of the environment.
+                          tile_cache=self.tile_cache,
+                          compute=ComputeConfig(tile_cache=False)
+                          if self.tile_cache is None else None)
 
     def kernel_energy(self) -> np.ndarray:
         """Per-kernel energy ``sum |K_i|^2`` — proportional to the SOCS eigenvalues."""

@@ -38,8 +38,10 @@ Implementations
 
 Selection
 ---------
-:func:`resolve_scheduler` maps a name (``serial`` / ``pool`` / ``stealing``,
-or the ``REPRO_SCHEDULER`` environment variable) to a wired instance;
+:func:`resolve_scheduler` maps a name (``serial`` / ``pool`` / ``stealing``
+/ ``service``, or the ``REPRO_SCHEDULER`` environment variable) to a wired
+instance (``service`` is the campaign service's shared thread queue, see
+:mod:`repro.service.scheduler`);
 :func:`faults_from_env` parses ``REPRO_SCHEDULER_FAULTS`` (e.g.
 ``break_after=1`` / ``drop=0:2`` / ``kill_after=1``) so CI can inject faults
 into an unmodified CLI run.
@@ -446,6 +448,19 @@ class FaultInjectingScheduler(Scheduler):
         self.inner.close()
 
 
+def _service_scheduler(pool_provider, engine_provider) -> Scheduler:
+    """Factory for the campaign service's shared thread-queue scheduler.
+
+    Imported lazily: :mod:`repro.service` depends on the engine layer, so
+    the reverse edge must not exist at module-import time.  The scheduler is
+    in-process (``uses_pool = False``) — tasks from every concurrent
+    campaign drain through one process-wide thread queue.
+    """
+    from ..service.scheduler import ServiceScheduler
+
+    return ServiceScheduler(engine_provider=engine_provider)
+
+
 #: Registry mapping scheduler names to constructors taking
 #: ``(pool_provider, engine_provider)``.
 SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
@@ -455,6 +470,7 @@ SCHEDULERS: Dict[str, Callable[..., Scheduler]] = {
         PoolScheduler(pool_provider, engine_provider),
     "stealing": lambda pool_provider, engine_provider:
         StealingPoolScheduler(pool_provider, engine_provider),
+    "service": _service_scheduler,
 }
 
 

@@ -40,6 +40,7 @@ import numpy as np
 
 from ..backend import (
     FLOAT64,
+    ComputeConfig,
     autotune_precision,
     get_backend,
     is_auto_precision,
@@ -94,8 +95,21 @@ class EngineSpec:
     fft_workers: Optional[int] = None
     precision: Optional[str] = None
     dose: Optional[float] = None
+    #: Construction-time convenience only: a :class:`ComputeConfig` whose
+    #: ``fft_backend`` / ``fft_workers`` / ``precision`` seed the fields
+    #: above (explicit fields win), then the attribute resets to ``None`` —
+    #: so fingerprints, equality and pickles are identical whichever way a
+    #: spec was built.  ``tile_cache`` / ``scheduler`` are executor-level
+    #: policies, not part of the worker imaging recipe, and are ignored.
+    compute: Optional[ComputeConfig] = None
 
     def __post_init__(self):
+        if self.compute is not None:
+            for field in ("fft_backend", "fft_workers", "precision"):
+                if getattr(self, field) is None:
+                    object.__setattr__(self, field,
+                                       getattr(self.compute, field))
+            object.__setattr__(self, "compute", None)
         # Normalise the compute policy HERE, in the constructing process:
         # "auto" / env-var / None must not be re-interpreted by a worker
         # whose environment could differ.
@@ -171,9 +185,9 @@ class EngineSpec:
             self.config, source=source, pupil=pupil, cache=cache,
             band_limited=self.band_limited,
             max_chunk_bytes=self.max_chunk_bytes,
-            fft_backend=self.fft_backend,
-            fft_workers=self.fft_workers,
-            precision=self.precision, **kwargs)
+            compute=ComputeConfig(fft_backend=self.fft_backend,
+                                  fft_workers=self.fft_workers,
+                                  precision=self.precision), **kwargs)
 
 
 # --------------------------------------------------------------------------- #
@@ -270,12 +284,19 @@ class ShardedExecutor:
         consult ``REPRO_SCHEDULER`` (default ``pool`` — today's behaviour).
         ``REPRO_SCHEDULER_FAULTS`` additionally wraps named schedulers in a
         fault injector (CI chaos runs); explicit instances are used as-is.
+    compute:
+        A :class:`~repro.backend.ComputeConfig` supplying ``tile_cache`` and
+        ``scheduler`` in one serialisable object (its FFT / precision fields
+        belong to the :class:`EngineSpec` each call carries and are ignored
+        here).  The loose ``tile_cache`` / ``scheduler`` arguments win over
+        the config when both are given.
     """
 
     def __init__(self, num_workers: Optional[int] = None,
                  cache_dir: Optional[str] = None,
                  mp_context=None, min_shard_tiles: int = 1,
-                 tile_cache=None, scheduler=None):
+                 tile_cache=None, scheduler=None,
+                 compute: Optional[ComputeConfig] = None):
         if num_workers is not None and num_workers < 0:
             raise ValueError("num_workers must be non-negative")
         if min_shard_tiles < 1:
@@ -284,6 +305,11 @@ class ShardedExecutor:
         self.cache_dir = cache_dir if cache_dir is not None else \
             os.environ.get("REPRO_KERNEL_CACHE_DIR")
         self.min_shard_tiles = int(min_shard_tiles)
+        if compute is not None:
+            if tile_cache is None:
+                tile_cache = compute.tile_cache
+            if scheduler is None:
+                scheduler = compute.scheduler
         self.tile_cache = resolve_tile_cache(tile_cache)
         self.scheduler = scheduler
         if isinstance(scheduler, str):

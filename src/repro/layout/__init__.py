@@ -47,6 +47,11 @@ from .files import (
     shapes_extent_nm,
 )
 from .indexed import DEFAULT_BUCKET_PX, GeometryLayoutReader
+from .sources import (
+    load_layout_mask,
+    load_layout_source,
+    synthesize_layout_mask,
+)
 from .reader import (
     ArrayLayoutReader,
     LayoutReader,
@@ -61,4 +66,5 @@ __all__ = [
     "as_layout_reader", "is_layout_reader", "array_digest", "source_digest",
     "load_layout_file", "read_layout_shapes", "shapes_extent_nm",
     "is_layout_file", "LAYOUT_FILE_SUFFIXES", "DEFAULT_BUCKET_PX",
+    "load_layout_mask", "load_layout_source", "synthesize_layout_mask",
 ]

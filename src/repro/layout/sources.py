@@ -1,0 +1,71 @@
+"""Turn a layout *description* into something the engines can image.
+
+The CLI and the campaign service both accept layouts three ways — a dense
+``.npy``/``.npz`` raster, a geometry file (repro-layout JSON / GDSII-text,
+imaged through the windowed readers), or a synthesised benchmark canvas —
+and both must resolve them identically, or a service-submitted campaign
+would not be bit-for-bit comparable to the same campaign run via
+``repro sweep-window``.  These helpers are that single resolution path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .files import is_layout_file, load_layout_file
+
+__all__ = [
+    "load_layout_mask",
+    "load_layout_source",
+    "synthesize_layout_mask",
+]
+
+
+def load_layout_mask(path: str) -> np.ndarray:
+    """Dense 2-D raster from a ``.npy`` / ``.npz`` file (key ``mask`` first)."""
+    if path.endswith(".npz"):
+        with np.load(path) as data:
+            key = "mask" if "mask" in data.files else data.files[0]
+            mask = np.asarray(data[key], dtype=float)
+    else:
+        mask = np.asarray(np.load(path), dtype=float)
+    if mask.ndim != 2:
+        raise ValueError(
+            f"layout mask in {path} must be 2-D, got shape {mask.shape}")
+    return mask
+
+
+def load_layout_source(path: str, pixel_size_nm: float):
+    """Dense raster (``.npy``/``.npz``) or windowed geometry reader (anything
+    :func:`repro.layout.is_layout_file` recognises — JSON / GDSII-text)."""
+    if is_layout_file(path):
+        return load_layout_file(path, pixel_size_nm=pixel_size_nm)
+    return load_layout_mask(path)
+
+
+def synthesize_layout_mask(height_px: int, width_px: int, tile_size_px: int,
+                           pixel_size_nm: float, family: str,
+                           seed: int) -> np.ndarray:
+    """Paste generator tiles onto an (height, width) canvas — a stand-in full layout."""
+    from ..masks import (
+        ICCAD2013Generator,
+        ISPDMetalGenerator,
+        ISPDViaGenerator,
+    )
+
+    generators = {"B1": ICCAD2013Generator, "B2m": ISPDMetalGenerator,
+                  "B2v": ISPDViaGenerator}
+    if family not in generators:
+        raise ValueError(
+            f"unknown layout family {family!r}; known families: "
+            f"{', '.join(sorted(generators))}")
+    generator = generators[family](tile_size_px, pixel_size_nm, seed=seed)
+    rows = -(-height_px // tile_size_px)
+    cols = -(-width_px // tile_size_px)
+    tiles = generator.generate(rows * cols)
+    canvas = np.zeros((rows * tile_size_px, cols * tile_size_px))
+    for index, tile in enumerate(tiles):
+        row, col = divmod(index, cols)
+        canvas[row * tile_size_px:(row + 1) * tile_size_px,
+               col * tile_size_px:(col + 1) * tile_size_px] = tile
+    return canvas[:height_px, :width_px]

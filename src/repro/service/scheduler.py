@@ -1,0 +1,206 @@
+"""The campaign service's scheduler: one shared thread queue, many campaigns.
+
+The HTTP service runs several campaigns at once, and each campaign's
+:meth:`~repro.engine.ShardedExecutor.run_conditions` emits a stream of
+(condition, shard) tasks.  :class:`ServiceScheduler` implements the existing
+:class:`~repro.engine.scheduler.Scheduler` seam over one process-wide
+:class:`ServiceTaskQueue` — a bounded :class:`~concurrent.futures.\
+ThreadPoolExecutor` every campaign's scheduler submits into — so tasks from
+concurrent campaigns interleave at (focus, dose, shard) granularity instead
+of queueing whole campaigns behind each other.
+
+Threads, not processes, on purpose: the service's campaigns share the
+process-wide :class:`~repro.engine.cache.KernelBankCache` (already
+``RLock``-guarded), the per-fingerprint engine memo and the FFT backends,
+so two campaigns over the same optics pay for one decomposition.  The numpy
+/ scipy FFT kernels release the GIL, which is where the compute time lives.
+
+The scheduler is registered as ``"service"`` in
+:data:`repro.engine.scheduler.SCHEDULERS`, so ``REPRO_SCHEDULER=service``
+(and therefore ``REPRO_SCHEDULER_FAULTS`` chaos wrapping) works through the
+ordinary :func:`~repro.engine.scheduler.resolve_scheduler` path.  It
+reports ``uses_pool = False``: the sharded facade then hands it one task
+per condition and never spins up a process pool; the scheduler re-splits
+each task into up to ``split_factor`` contiguous sub-batches itself (the
+same sub-slice-order concatenation as the stealing scheduler), so the
+bit-for-bit == serial guarantee holds unchanged.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..backend.fft import available_cpus
+from ..engine.scheduler import PoolScheduler, TaskSpec
+
+__all__ = [
+    "ServiceScheduler",
+    "ServiceTaskQueue",
+    "configure_service_queue",
+    "default_service_queue",
+    "shutdown_service_queue",
+]
+
+
+class ServiceTaskQueue:
+    """Process-wide, thread-based task queue shared by every campaign.
+
+    A thin bookkeeping layer over a lazily created
+    :class:`~concurrent.futures.ThreadPoolExecutor`: the worker budget caps
+    how many imaging tasks run at once *across all campaigns*, and the
+    submitted/completed counters make the sharing observable (tests pin
+    that two concurrent campaigns drained through one queue).
+    """
+
+    def __init__(self, num_workers: Optional[int] = None):
+        if num_workers is not None and num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = int(num_workers) if num_workers is not None \
+            else max(1, available_cpus())
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        #: Lifetime counters (monotonic; cancelled futures count as
+        #: completed once they settle).
+        self.submitted = 0
+        self.completed = 0
+
+    def executor(self) -> ThreadPoolExecutor:
+        """The live worker pool, created on first use."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.num_workers,
+                    thread_name_prefix="repro-service")
+            return self._executor
+
+    def submit(self, fn: Callable, *args) -> Future:
+        future = self.executor().submit(fn, *args)
+        with self._lock:
+            self.submitted += 1
+        future.add_done_callback(self._settled)
+        return future
+
+    def _settled(self, future: Future) -> None:
+        with self._lock:
+            self.completed += 1
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"num_workers": self.num_workers,
+                    "submitted": self.submitted,
+                    "completed": self.completed}
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop the pool; queued-but-unstarted tasks are cancelled."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=wait, cancel_futures=True)
+
+
+_DEFAULT_QUEUE: Optional[ServiceTaskQueue] = None
+_DEFAULT_QUEUE_LOCK = threading.Lock()
+
+
+def default_service_queue() -> ServiceTaskQueue:
+    """The process-wide queue every ``"service"``-named scheduler shares."""
+    global _DEFAULT_QUEUE
+    with _DEFAULT_QUEUE_LOCK:
+        if _DEFAULT_QUEUE is None:
+            _DEFAULT_QUEUE = ServiceTaskQueue()
+        return _DEFAULT_QUEUE
+
+
+def configure_service_queue(num_workers: Optional[int] = None,
+                            ) -> ServiceTaskQueue:
+    """Replace the process-wide queue (shutting down any previous one).
+
+    Called by ``repro serve`` startup so ``--queue-workers`` takes effect
+    before the first campaign schedules anything.
+    """
+    global _DEFAULT_QUEUE
+    with _DEFAULT_QUEUE_LOCK:
+        previous, _DEFAULT_QUEUE = _DEFAULT_QUEUE, \
+            ServiceTaskQueue(num_workers)
+    if previous is not None:
+        previous.shutdown(wait=False)
+    return _DEFAULT_QUEUE
+
+
+def shutdown_service_queue() -> None:
+    """Tear the process-wide queue down (tests / server shutdown)."""
+    global _DEFAULT_QUEUE
+    with _DEFAULT_QUEUE_LOCK:
+        queue, _DEFAULT_QUEUE = _DEFAULT_QUEUE, None
+    if queue is not None:
+        queue.shutdown(wait=False)
+
+
+class ServiceScheduler(PoolScheduler):
+    """Thread-queue scheduling over the shared :class:`ServiceTaskQueue`.
+
+    Subclasses :class:`~repro.engine.scheduler.PoolScheduler` for its
+    split/record/drain bookkeeping but reports ``uses_pool = False`` and
+    never touches a process pool: every sub-task runs on a queue thread via
+    the campaign's ``engine_provider`` (the sharded facade's warm-engine
+    path, so kernel banks resolve through the shared process-wide cache).
+    Results concatenate in sub-slice order — bit-for-bit the serial output.
+
+    Under :class:`~repro.engine.scheduler.FaultInjectingScheduler` the
+    ``kill_after`` fault finds no process to murder and degrades to the
+    ``break_after`` behaviour (raising ``BrokenProcessPool``), which the
+    facade answers with its serial recompute of unfinished conditions —
+    exactly the chaos contract the CI gauntlet pins.
+    """
+
+    uses_pool = False
+
+    def __init__(self, engine_provider: Optional[Callable] = None,
+                 queue: Optional[ServiceTaskQueue] = None,
+                 split_factor: int = 4):
+        # engine_provider may be None at construction: the sharded facade
+        # validates scheduler *names* by building one unwired, then builds
+        # a wired instance per run.  Submitting without one fails loudly.
+        if split_factor < 1:
+            raise ValueError("split_factor must be at least 1")
+        super().__init__(pool_provider=self._no_pool,
+                         engine_provider=engine_provider)
+        self.queue = queue if queue is not None else default_service_queue()
+        self.split_factor = int(split_factor)
+
+    @staticmethod
+    def _no_pool():  # pragma: no cover - guarded by _submit_piece override
+        raise RuntimeError("ServiceScheduler has no process pool")
+
+    def _split(self, task: TaskSpec) -> List[np.ndarray]:
+        """Up to ``split_factor`` contiguous sub-batches per task.
+
+        The facade hands this scheduler one whole-batch task per condition
+        (``uses_pool`` is False); splitting here restores (focus, dose,
+        shard) granularity so concurrent campaigns interleave inside the
+        shared queue.
+        """
+        batch = task.masks.shape[0]
+        if batch <= 1:
+            return [task.masks]
+        size = max(1, -(-batch // self.split_factor))  # ceil
+        return [task.masks[start:start + size]
+                for start in range(0, batch, size)]
+
+    def _submit_piece(self, task: TaskSpec, sub_index: int, sub_count: int,
+                      masks: np.ndarray) -> None:
+        future = self.queue.submit(self._run_piece, task, masks)
+        self._futures[future] = (task, sub_index, sub_count)
+        self._order.append(future)
+
+    def _run_piece(self, task: TaskSpec, masks: np.ndarray) -> np.ndarray:
+        if self._engine_provider is None:
+            raise RuntimeError(
+                "ServiceScheduler needs an engine_provider (tasks run "
+                "in-process on queue threads)")
+        engine = self._engine_provider(task.spec)
+        return engine.aerial_batch(masks, output_shape=task.output_shape)

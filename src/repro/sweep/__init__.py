@@ -49,6 +49,9 @@ from .report import (
     CampaignReport,
     load_campaign_report,
     render_campaign_report,
+    render_campaign_report_html,
+    render_campaign_report_json,
+    report_as_dict,
     save_aerial_thumbnails,
 )
 from .store import CampaignIdentityError, CampaignStore, condition_id, layout_digest
@@ -57,4 +60,5 @@ __all__ = ["FocusExposureGrid", "ProcessWindowSweep", "SweepOutcome",
            "CampaignStore", "CampaignIdentityError", "condition_id",
            "layout_digest",
            "CampaignReport", "load_campaign_report", "render_campaign_report",
-           "save_aerial_thumbnails"]
+           "render_campaign_report_json", "render_campaign_report_html",
+           "report_as_dict", "save_aerial_thumbnails"]

@@ -45,6 +45,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Un
 
 import numpy as np
 
+from ..backend import ComputeConfig, apply_legacy_kwargs
 from ..engine.sharded import EngineSpec, ShardedExecutor
 from ..engine.tiling import extract_tiles, stitch_tiles
 from ..optics.process_window import (
@@ -133,11 +134,17 @@ class ProcessWindowSweep:
         from the nominal-focus, nominal-dose resist and then held fixed for
         every other condition, so one feature is followed through the whole
         matrix.
-    fft_backend / fft_workers / precision:
-        Compute policy threaded into every :class:`EngineSpec` the campaign
+    compute:
+        The unified :class:`~repro.backend.ComputeConfig`: its FFT /
+        precision fields thread into every :class:`EngineSpec` the campaign
         derives — parent engines and sharded workers all image through the
-        same FFT backend at the same precision (``None`` resolves the
-        environment defaults at construction).
+        same FFT backend at the same precision (``None`` fields resolve the
+        environment defaults at construction) — and its ``tile_cache`` /
+        ``scheduler`` fields configure the default executor (an explicitly
+        passed ``executor`` keeps its own policy).
+    fft_backend / fft_workers / precision:
+        Deprecated loose spellings of the ``compute`` fields (kept working
+        through the shim; explicit kwargs win over the config).
     """
 
     def __init__(self, config: OpticsConfig, source: Optional[Source] = None,
@@ -147,15 +154,20 @@ class ProcessWindowSweep:
                  cd_row: Optional[int] = None,
                  fft_backend: Optional[str] = None,
                  fft_workers: Optional[int] = None,
-                 precision: Optional[str] = None):
+                 precision: Optional[str] = None,
+                 compute: Optional[ComputeConfig] = None):
+        compute = apply_legacy_kwargs(compute, "ProcessWindowSweep",
+                                      fft_backend=fft_backend,
+                                      fft_workers=fft_workers,
+                                      precision=precision)
+        #: The names-only compute policy every derived spec carries.
+        self.compute = compute
         self.config = config
         self.executor = executor if executor is not None else \
-            ShardedExecutor(num_workers=1, cache_dir=cache_dir)
+            ShardedExecutor(num_workers=1, cache_dir=cache_dir,
+                            compute=compute)
         self.base_spec = EngineSpec(config=config, source=source, pupil=pupil,
-                                    cache_dir=cache_dir,
-                                    fft_backend=fft_backend,
-                                    fft_workers=fft_workers,
-                                    precision=precision)
+                                    cache_dir=cache_dir, compute=compute)
         self.cd_row = cd_row
 
     # ------------------------------------------------------------------ #

@@ -19,6 +19,8 @@ a progress monitor for long campaigns.
 from __future__ import annotations
 
 import glob
+import html as _html
+import json
 import os
 import re
 from dataclasses import dataclass
@@ -211,6 +213,151 @@ def render_campaign_report(report: CampaignReport,
                 lines.append(ascii_image(np.asarray(aerial[::step, ::step]),
                                          width=thumbnail_width))
     return "\n".join(lines)
+
+
+def report_as_dict(report: CampaignReport) -> dict:
+    """The machine-facing report: everything the text report says, as data.
+
+    The same zero-recompute path (manifest + file listing only) rendered
+    into plain JSON-serialisable types; the campaign service's
+    ``GET /campaigns/{id}/report`` and ``campaign-report --format json``
+    both emit exactly this structure.
+    """
+    window = report.window()
+    matrix = report.cd_matrix()
+    window_block = None
+    if window is not None and window.points:
+        focus = report.grid.nominal_focus_nm
+        dose = report.grid.nominal_dose
+        window_block = {
+            "target_cd_nm": float(window.target_cd_nm),
+            "tolerance": float(window.tolerance),
+            "window_fraction": float(window.window_fraction()),
+            "depth_of_focus_nm": float(window.depth_of_focus_nm(dose)),
+            "exposure_latitude": float(window.exposure_latitude(focus)),
+        }
+    return {
+        "store_dir": report.store_dir,
+        "campaign": dict(report.campaign),
+        "derived": dict(report.derived),
+        "grid": {
+            "focus_values_nm": [float(f) for f in report.grid.focus_values_nm],
+            "dose_values": [float(d) for d in report.grid.dose_values],
+        },
+        "progress": {
+            "completed": report.completed_conditions,
+            "total": report.total_conditions,
+            "complete": report.is_complete,
+        },
+        # Rows follow grid.focus_values_nm, columns grid.dose_values;
+        # null = condition not yet computed.
+        "cd_matrix": [[matrix[focus][dose] for dose in report.grid.dose_values]
+                      for focus in report.grid.focus_values_nm],
+        "in_spec": [[None if matrix[focus][dose] is None or window is None
+                     else bool(window.in_spec(FocusExposurePoint(
+                         focus, dose, matrix[focus][dose])))
+                     for dose in report.grid.dose_values]
+                    for focus in report.grid.focus_values_nm],
+        "window": window_block,
+        "tile_cache": dict(report.tile_cache) if report.tile_cache else None,
+        "aerials": [token for token, _ in report.aerial_files()],
+    }
+
+
+def render_campaign_report_json(report: CampaignReport) -> str:
+    """:func:`report_as_dict` as indented JSON text."""
+    return json.dumps(report_as_dict(report), indent=2, sort_keys=True)
+
+
+def render_campaign_report_html(report: CampaignReport) -> str:
+    """A dependency-free, self-contained HTML page for a stored campaign.
+
+    The browsable shape of the same zero-recompute data: identity and
+    progress up top, the focus x dose CD matrix as a table (out-of-spec
+    cells highlighted, pending cells dimmed), the window summary, and links
+    to any stored aerial files (the service serves them as thumbnails).
+    """
+    data = report_as_dict(report)
+    window = data["window"]
+    campaign = data["campaign"]
+    shape = campaign.get("layout_shape", ["?", "?"])
+    doses = data["grid"]["dose_values"]
+    foci = data["grid"]["focus_values_nm"]
+
+    head = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>campaign {_html.escape(os.path.basename(report.store_dir) or report.store_dir)}</title>",
+        "<style>",
+        "body{font-family:sans-serif;margin:2em;}",
+        "table{border-collapse:collapse;}",
+        "td,th{border:1px solid #999;padding:0.3em 0.7em;text-align:right;}",
+        "td.out{background:#fdd;}",
+        "td.pending{color:#999;background:#f5f5f5;}",
+        "dt{font-weight:bold;} dd{margin:0 0 0.5em 0;}",
+        "</style></head><body>",
+        f"<h1>Process-window campaign</h1>",
+        "<dl>",
+        f"<dt>store</dt><dd>{_html.escape(report.store_dir)}</dd>",
+        f"<dt>layout</dt><dd>{shape[0]} &times; {shape[1]} px "
+        f"(digest {_html.escape(str(campaign.get('layout_sha256', '?'))[:12])}&hellip;)</dd>",
+        f"<dt>optics</dt><dd>{_html.escape(str(campaign.get('optics_fingerprint', '?'))[:12])}&hellip;</dd>",
+        f"<dt>progress</dt><dd>{data['progress']['completed']}/"
+        f"{data['progress']['total']} conditions complete"
+        + ("" if data["progress"]["complete"] else " (campaign in progress)")
+        + "</dd>",
+        "</dl>",
+    ]
+
+    table = ["<table><thead><tr><th>focus_nm \\ dose</th>"]
+    table += [f"<th>{dose:g}</th>" for dose in doses]
+    table.append("</tr></thead><tbody>")
+    for row_index, focus in enumerate(foci):
+        cells = [f"<tr><th>{focus:g}</th>"]
+        for col_index in range(len(doses)):
+            cd = data["cd_matrix"][row_index][col_index]
+            in_spec = data["in_spec"][row_index][col_index]
+            if cd is None:
+                cells.append("<td class='pending'>&ndash;</td>")
+            else:
+                css = " class='out'" if in_spec is False else ""
+                cells.append(f"<td{css}>{cd:.1f}</td>")
+        cells.append("</tr>")
+        table.append("".join(cells))
+    table.append("</tbody></table>")
+    table.append("<p>CD in nm; red = outside the tolerance band, "
+                 "dimmed = not yet computed.</p>")
+
+    tail = []
+    if window is not None:
+        tail += [
+            "<h2>Window summary</h2><dl>",
+            f"<dt>target CD</dt><dd>{window['target_cd_nm']:.1f} nm "
+            f"(tolerance &plusmn; {window['tolerance'] * 100:.0f}%)</dd>",
+            f"<dt>window fraction</dt>"
+            f"<dd>{window['window_fraction'] * 100:.1f}%</dd>",
+            f"<dt>depth of focus</dt>"
+            f"<dd>{window['depth_of_focus_nm']:.1f} nm</dd>",
+            f"<dt>exposure latitude</dt>"
+            f"<dd>{window['exposure_latitude'] * 100:.1f}%</dd>",
+            "</dl>",
+        ]
+    if data["tile_cache"]:
+        stats = data["tile_cache"]
+        tiles = int(stats.get("tiles", 0))
+        served = sum(int(stats.get(key, 0))
+                     for key in ("hits", "zero_hits", "disk_loads"))
+        rate = served / tiles * 100 if tiles else 0.0
+        tail.append(f"<p>tile cache: {served}/{tiles} tiles served "
+                    f"({rate:.1f}% hit rate).</p>")
+    if data["aerials"]:
+        tail.append("<h2>Stored aerials</h2><ul>")
+        tail += [f"<li><a href='thumbnails/{_html.escape(token)}'>"
+                 f"focus {_html.escape(token)}</a></li>"
+                 for token in data["aerials"]]
+        tail.append("</ul>")
+    tail.append("</body></html>")
+    return "\n".join(head + table + tail)
 
 
 def save_aerial_thumbnails(report: CampaignReport, directory: str,

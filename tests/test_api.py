@@ -1,0 +1,68 @@
+"""The repro.api façade: three verbs over the imaging stack.
+
+The façade must be a *thin* composition — its results are pinned bit-for-bit
+against the underlying layers it wraps.
+"""
+
+import numpy as np
+import pytest
+
+import repro.api as api
+from repro.engine import ExecutionEngine
+from repro.optics.simulator import OpticsConfig
+
+OPTICS = OpticsConfig(tile_size_px=32, pixel_size_nm=8.0)
+COMPUTE = api.ComputeConfig(fft_backend="numpy", precision="float64")
+
+
+def make_mask() -> np.ndarray:
+    mask = np.zeros((48, 48))
+    mask[10:38, 6:42] = 1.0
+    mask[20:28, 20:28] = 0.0
+    return mask
+
+
+class TestFacade:
+    def test_explicit_all(self):
+        assert set(api.__all__) == {"ComputeConfig", "image_layout",
+                                    "open_campaign", "sweep_window"}
+        for name in api.__all__:
+            assert getattr(api, name) is not None
+
+    def test_image_layout_matches_engine(self):
+        mask = make_mask()
+        image = api.image_layout(mask, OPTICS, compute=COMPUTE, tile_px=32)
+        engine = ExecutionEngine.for_optics(OPTICS, compute=COMPUTE)
+        direct = engine.image_layout(mask, tile_px=32)
+        np.testing.assert_array_equal(np.asarray(image.aerial),
+                                      np.asarray(direct.aerial))
+        np.testing.assert_array_equal(np.asarray(image.resist),
+                                      np.asarray(direct.resist))
+
+    def test_image_layout_accepts_a_path(self, tmp_path):
+        mask = make_mask()
+        path = tmp_path / "layout.npy"
+        np.save(path, mask)
+        image = api.image_layout(str(path), OPTICS, compute=COMPUTE)
+        reference = api.image_layout(mask, OPTICS, compute=COMPUTE)
+        np.testing.assert_array_equal(np.asarray(image.aerial),
+                                      np.asarray(reference.aerial))
+
+    def test_sweep_window_and_open_campaign(self, tmp_path):
+        store = str(tmp_path / "campaign")
+        outcome = api.sweep_window(make_mask(), OPTICS,
+                                   focus_nm=[-40.0, 0.0, 40.0],
+                                   dose=[0.95, 1.0, 1.05],
+                                   compute=COMPUTE, store=store)
+        assert outcome.computed_conditions == 9
+        report = api.open_campaign(store)
+        assert report.is_complete
+        assert report.completed_conditions == 9
+        window = report.window()
+        assert window is not None
+        assert window.target_cd_nm == pytest.approx(
+            outcome.window.target_cd_nm)
+
+    def test_open_campaign_missing_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            api.open_campaign(str(tmp_path / "nothing"))

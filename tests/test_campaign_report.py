@@ -163,3 +163,75 @@ class TestCampaignReportCLI:
         assert main(["campaign-report", "--store",
                      str(tmp_path / "nowhere")]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestReportFormats:
+    """--format json|html: the same zero-recompute data, machine-readable."""
+
+    def test_report_as_dict_structure(self, completed_store):
+        from repro.sweep import report_as_dict
+
+        data = report_as_dict(load_campaign_report(completed_store))
+        assert data["grid"]["focus_values_nm"] == list(GRID.focus_values_nm)
+        assert data["grid"]["dose_values"] == list(GRID.dose_values)
+        assert data["progress"] == {"completed": 9, "total": 9,
+                                    "complete": True}
+        assert len(data["cd_matrix"]) == len(GRID.focus_values_nm)
+        assert all(len(row) == len(GRID.dose_values)
+                   for row in data["cd_matrix"])
+        assert data["window"] is not None
+        assert data["window"]["target_cd_nm"] > 0
+        assert len(data["aerials"]) == len(GRID.focus_values_nm)
+
+    def test_json_round_trips_and_marks_pending_null(self, tmp_path):
+        import json as json_module
+
+        from repro.sweep import render_campaign_report_json
+
+        identity, _ = CampaignStore.campaign_identity(
+            make_mask(), GRID.focus_values_nm, GRID.dose_values, 0.1,
+            "fingerprint")
+        store = CampaignStore(str(tmp_path / "partial"))
+        store.begin(identity, resume=True)
+        store.record(0.0, 1.0, 100.0, 0.225)
+        rendered = render_campaign_report_json(
+            load_campaign_report(str(tmp_path / "partial")))
+        data = json_module.loads(rendered)
+        assert data["progress"]["complete"] is False
+        matrix = data["cd_matrix"]
+        assert matrix[1][1] == 100.0  # focus 0.0, dose 1.0
+        assert matrix[0][0] is None   # pending cells are null
+
+    def test_html_is_self_contained(self, completed_store):
+        from repro.sweep import render_campaign_report_html
+
+        html = render_campaign_report_html(
+            load_campaign_report(completed_store))
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<table" in html and "</html>" in html
+        assert "thumbnails/" in html  # aerial links the service serves
+        assert "src=" not in html     # no external resources
+
+    def test_cli_format_json(self, completed_store, capsys):
+        import json as json_module
+
+        assert main(["campaign-report", "--store", completed_store,
+                     "--format", "json"]) == 0
+        data = json_module.loads(capsys.readouterr().out)
+        assert data["progress"]["complete"] is True
+
+    def test_cli_format_html(self, completed_store, capsys):
+        assert main(["campaign-report", "--store", completed_store,
+                     "--format", "html"]) == 0
+        assert capsys.readouterr().out.startswith("<!DOCTYPE html>")
+
+    def test_formats_also_zero_recompute(self, completed_store, monkeypatch):
+        def poisoned(self, *args, **kwargs):
+            raise AssertionError("campaign-report must not build an engine")
+
+        monkeypatch.setattr(repro.engine.execution.ExecutionEngine,
+                            "__init__", poisoned)
+        assert main(["campaign-report", "--store", completed_store,
+                     "--format", "json"]) == 0
+        assert main(["campaign-report", "--store", completed_store,
+                     "--format", "html"]) == 0

@@ -1,0 +1,155 @@
+"""Micro-benchmark — hierarchical window queries vs instance count.
+
+The claim of :class:`repro.layout.HierarchicalLayoutReader` is that a
+window query costs O(instances intersecting the window), not O(instances
+in the layout): AREF element ranges are solved in closed form and SREF
+subtrees are pruned by bounding box, so a tile-sized window over an
+``N x N`` instance array touches a handful of placed rectangles no matter
+how large ``N`` grows — while the dense flatten the pre-hierarchy path
+needed grows with the full array.
+
+This benchmark builds ``N x N`` AREF grids of one cell at constant pitch
+and measures, per size,
+
+* the mean wall-clock of a tile-sized ``read_window`` (and the candidate
+  rectangles it touched — the structural witness: both must stay flat
+  while the instance count grows),
+* the wall-clock of materialising the dense flatten (the old path), and
+* ``window_speedup`` — dense flatten / one window query at the largest
+  size — recorded as the gated metric.
+
+Flatness assertion: when the instance count grows ``G``x, window query
+time must grow strictly slower (< ``G/2``x) and candidates must stay
+within 3x of flat.  Results land in
+``benchmarks/results/layout_hierarchy.{txt,json}``.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.layout.gdsii import GDSBoundary, GDSCell, GDSReference
+from repro.layout.hierarchy import HierarchicalLayoutReader
+
+PIXEL_NM = 8.0
+PITCH_NM = 256           # one 32 px tile per instance
+WINDOW_PX = 32
+QUERIES = 64
+#: Array side (instances) per size step, preset-scaled; the raster grows
+#: with the array, the per-window work must not.
+SIDES = {"tiny": (8, 16, 32), "small": (16, 32, 64),
+         "default": (32, 64, 128)}
+
+
+def build_array_reader(side: int) -> HierarchicalLayoutReader:
+    """``side x side`` AREF of one 3-rectangle cell at tile pitch."""
+    cell = GDSCell("CELL", boundaries=[
+        GDSBoundary(1, ((32, 32), (128, 32), (128, 128), (32, 128))),
+        GDSBoundary(1, ((144, 144), (256, 144), (256, 256), (144, 256))),
+        GDSBoundary(1, ((144, 32), (224, 32), (224, 80), (144, 80))),
+    ], references=[])
+    grid = GDSCell("GRID", boundaries=[], references=[
+        GDSReference("CELL", (0, 0), columns=side, rows=side,
+                     column_vector=(PITCH_NM, 0),
+                     row_vector=(0, PITCH_NM)),
+    ])
+    from collections import OrderedDict
+
+    from repro.layout.gdsii import GDSLibrary
+
+    library = GDSLibrary("BENCH", 1.0,
+                         OrderedDict([("CELL", cell), ("GRID", grid)]))
+    return HierarchicalLayoutReader(library, pixel_size_nm=PIXEL_NM)
+
+
+def time_window_queries(reader: HierarchicalLayoutReader,
+                        seed: int = 1) -> dict:
+    rng = np.random.default_rng(seed)
+    raster_side = reader.shape[0]
+    origins = rng.integers(0, max(raster_side - WINDOW_PX, 1),
+                           size=(QUERIES, 2))
+    candidates = 0
+    start = time.perf_counter()
+    for row, col in origins:
+        reader.read_window(int(row), int(col), WINDOW_PX, WINDOW_PX)
+        candidates += reader.last_candidates
+    elapsed = time.perf_counter() - start
+    return {"mean_seconds": elapsed / QUERIES,
+            "mean_candidates": candidates / QUERIES}
+
+
+def time_dense_flatten(reader: HierarchicalLayoutReader) -> float:
+    start = time.perf_counter()
+    reader.flatten().materialise()
+    return time.perf_counter() - start
+
+
+def test_window_cost_flat_in_instance_count(preset, record_output,
+                                            record_json):
+    sides = SIDES.get(preset, SIDES["default"])
+    rows = []
+    for side in sides:
+        reader = build_array_reader(side)
+        window = time_window_queries(reader)
+        rows.append({
+            "array_side": side,
+            "instances": side * side,
+            "raster_px": reader.shape[0],
+            "window_mean_seconds": window["mean_seconds"],
+            "window_mean_candidates": window["mean_candidates"],
+            "dense_flatten_seconds": time_dense_flatten(reader),
+        })
+
+    growth = (sides[-1] / sides[0]) ** 2          # instance-count growth
+    time_growth = (rows[-1]["window_mean_seconds"]
+                   / max(rows[0]["window_mean_seconds"], 1e-9))
+    candidate_growth = (rows[-1]["window_mean_candidates"]
+                        / max(rows[0]["window_mean_candidates"], 1e-9))
+    speedup = (rows[-1]["dense_flatten_seconds"]
+               / max(rows[-1]["window_mean_seconds"], 1e-9))
+
+    lines = [
+        f"hierarchical window queries vs dense flatten "
+        f"({WINDOW_PX} px windows, {QUERIES} queries/size, "
+        f"pixel {PIXEL_NM} nm, {PITCH_NM} nm AREF pitch)",
+        f"{'array':>6} {'instances':>10} {'raster_px':>10} "
+        f"{'window_us':>10} {'candidates':>11} {'flatten_s':>10}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['array_side']:>4}^2 {row['instances']:>10} "
+            f"{row['raster_px']:>10} "
+            f"{row['window_mean_seconds'] * 1e6:>10.1f} "
+            f"{row['window_mean_candidates']:>11.1f} "
+            f"{row['dense_flatten_seconds']:>10.3f}")
+    lines += [
+        f"instance count grew {growth:.0f}x -> window query time grew "
+        f"{time_growth:.2f}x, candidates grew {candidate_growth:.2f}x",
+        f"one window query vs dense flatten at {sides[-1]}^2 instances: "
+        f"{speedup:.1f}x faster",
+    ]
+    record_output("layout_hierarchy", "\n".join(lines))
+    record_json("layout_hierarchy", {
+        "op": "layout_hierarchy_window_query",
+        "window_px": WINDOW_PX,
+        "queries_per_size": QUERIES,
+        "pixel_size_nm": PIXEL_NM,
+        "pitch_nm": PITCH_NM,
+        "sizes": rows,
+        "instance_growth": growth,
+        "window_time_growth": time_growth,
+        "window_candidate_growth": candidate_growth,
+        "window_speedup": speedup,
+        "cpus": os.cpu_count(),
+    })
+
+    # Flat-in-instance-count witnesses (loose CI-safe floors — the recorded
+    # trajectory carries the precise signal).
+    assert candidate_growth < 3.0, (
+        f"window candidates grew {candidate_growth:.2f}x over a "
+        f"{growth:.0f}x instance array — lazy AREF resolution lost")
+    assert time_growth < growth / 2, (
+        f"window query time grew {time_growth:.2f}x over a {growth:.0f}x "
+        f"instance array — no longer flat in instance count")
+    assert speedup > 1.0

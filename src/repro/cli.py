@@ -31,9 +31,10 @@ Subcommands cover the typical library workflow without writing any Python:
 
 ``image-layout`` and ``sweep-window`` accept ``--input`` as a dense raster
 (``.npy``/``.npz``) **or** a geometry layout file (``.json`` in the
-repro-layout schema, or GDSII-text); geometry files image through the
-windowed layout readers in :mod:`repro.layout`, so the dense raster never
-needs to exist.
+repro-layout schema, GDSII-text, or hierarchical binary GDSII); geometry
+files image through the windowed layout readers in :mod:`repro.layout`, so
+the dense raster never needs to exist — binary-GDSII cell hierarchies stay
+hierarchical, with SREF/AREF instances resolved per window.
 
 Run ``python -m repro.cli <subcommand> --help`` for the options.
 """
@@ -568,8 +569,9 @@ def build_parser() -> argparse.ArgumentParser:
     image_layout.add_argument("--input",
                               help="load a layout instead of synthesizing one: "
                                    "a dense .npy/.npz raster, or a geometry "
-                                   "file (repro-layout .json / GDSII-text) "
-                                   "imaged through the windowed layout readers")
+                                   "file (repro-layout .json / GDSII-text / "
+                                   "binary GDSII) imaged through the windowed "
+                                   "layout readers")
     image_layout.add_argument("--width", type=int, default=1024, help="layout width (px)")
     image_layout.add_argument("--height", type=int, default=768, help="layout height (px)")
     image_layout.add_argument("--tile-size", type=int, default=256, help="tile size (px)")
@@ -613,8 +615,8 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--input",
                        help="load a layout instead of synthesizing one: a "
                             "dense .npy/.npz raster, or a geometry file "
-                            "(repro-layout .json / GDSII-text) imaged through "
-                            "the windowed layout readers")
+                            "(repro-layout .json / GDSII-text / binary GDSII) "
+                            "imaged through the windowed layout readers")
     sweep.add_argument("--width", type=int, default=512, help="layout width (px)")
     sweep.add_argument("--height", type=int, default=384, help="layout height (px)")
     sweep.add_argument("--tile-size", type=int, default=256, help="tile size (px)")

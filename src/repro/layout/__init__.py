@@ -15,7 +15,11 @@ Three implementations cover the spectrum:
   (anything that already has a raster),
 * :class:`GeometryLayoutReader` — bucket-grid indexed rectangles + polygons;
   window queries touch O(window) shapes, not O(layout),
-* :func:`load_layout_file` — JSON / GDSII-text scenario files on disk.
+* :class:`HierarchicalLayoutReader` — binary GDSII cell graphs; SREF/AREF
+  placements are resolved lazily per window, never flattened up front,
+* :func:`load_layout_file` — JSON / GDSII-text / binary-GDSII scenario files
+  on disk (binary streams are detected by content, and malformed ones raise
+  :class:`LayoutFormatError` with a file offset).
 
 Readers plug in wherever a dense layout was accepted —
 ``ExecutionEngine.image_layout(reader, streaming=True)``,
@@ -46,6 +50,21 @@ from .files import (
     read_layout_shapes,
     shapes_extent_nm,
 )
+from .gdsii import (
+    GDSBoundary,
+    GDSCell,
+    GDSLibrary,
+    GDSReference,
+    LayoutFormatError,
+    parse_gds,
+    write_gds,
+)
+from .hierarchy import (
+    HierarchicalLayoutReader,
+    Transform,
+    flatten_gds_shapes,
+    load_gds_file,
+)
 from .indexed import DEFAULT_BUCKET_PX, GeometryLayoutReader
 from .sources import (
     load_layout_mask,
@@ -67,4 +86,7 @@ __all__ = [
     "load_layout_file", "read_layout_shapes", "shapes_extent_nm",
     "is_layout_file", "LAYOUT_FILE_SUFFIXES", "DEFAULT_BUCKET_PX",
     "load_layout_mask", "load_layout_source", "synthesize_layout_mask",
+    "LayoutFormatError", "parse_gds", "write_gds", "GDSLibrary", "GDSCell",
+    "GDSBoundary", "GDSReference", "HierarchicalLayoutReader", "Transform",
+    "load_gds_file", "flatten_gds_shapes",
 ]

@@ -1,23 +1,29 @@
-"""Layout scenario files on disk: JSON and GDSII-text loaders.
+"""Layout scenario files on disk: JSON, GDSII-text and binary GDSII loaders.
 
 Real lithography campaigns start from a layout archive, not a Python object.
-This module reads two simple on-disk formats straight into a spatially
-indexed :class:`~repro.layout.indexed.GeometryLayoutReader`, so a scenario
-file can drive the whole out-of-core pipeline without a dense raster ever
-existing:
+This module reads three on-disk formats straight into a windowed
+:class:`~repro.layout.reader.LayoutReader`, so a scenario file can drive the
+whole out-of-core pipeline without a dense raster ever existing:
 
 * the ``repro-layout`` **JSON** format written by
   :func:`repro.masks.io.save_layout` (layer -> rectangle list, nm units),
   extended with an optional ``"polygons"`` mapping
-  (layer -> list of ``[x, y]`` vertex rings, rectilinear), and
+  (layer -> list of ``[x, y]`` vertex rings, rectilinear),
 * a minimal **GDSII-text** subset (the ASCII form emitted by ``gds2ascii``
   style tools): ``BOUNDARY`` / ``LAYER n`` / ``XY x1 y1 x2 y2 ...`` /
   ``ENDEL`` records describe rectilinear polygons on numbered layers.
   Coordinates are nanometres; unhandled records (``HEADER``, ``STRNAME``,
-  ``UNITS``, ...) are ignored so real exports load without preprocessing.
+  ``UNITS``, ...) are ignored so real exports load without preprocessing, and
+* **binary GDSII** (the native ``.gds`` record stream, detected by its
+  ``HEADER`` record regardless of suffix): hierarchical cell graphs with
+  ``SREF``/``AREF`` placements load as a lazy
+  :class:`~repro.layout.hierarchy.HierarchicalLayoutReader` — instances are
+  resolved per window, never flattened up front.  Malformed streams raise
+  :class:`~repro.layout.gdsii.LayoutFormatError` with a file offset.
 
 Use :func:`load_layout_file`, which dispatches on the file suffix
-(``.json`` vs anything else) and returns a ready-to-image reader.
+(``.json`` vs anything else) and, for non-JSON files, on a binary-GDSII
+content probe, and returns a ready-to-image reader.
 """
 
 from __future__ import annotations
@@ -27,19 +33,54 @@ import os
 from typing import Dict, List, Optional, Tuple
 
 from ..masks.geometry import Polygon, Rect
+from .gdsii import LayoutFormatError, looks_like_binary_gds, parse_gds
 from .indexed import DEFAULT_BUCKET_PX, GeometryLayoutReader
 
 _LAYOUT_FORMAT = "repro-layout"
 
 
+def _probe_layout_kind(path: str) -> str:
+    """Sniff a non-JSON layout file: ``"gds"`` (binary GDSII record stream),
+    ``"text"`` (GDSII text) or ``"binary"`` (NUL-ridden but not GDSII).
+
+    Binary GDSII starts with a ``HEADER`` record whose first four bytes are
+    fixed, so the probe is exact; the NUL check catches other binary blobs
+    that UTF-8 would happily decode into garbage records.
+    """
+    with open(path, "rb") as probe:
+        head = probe.read(512)
+    if looks_like_binary_gds(head):
+        return "gds"
+    binary = b"\x00" in head
+    if not binary:
+        try:
+            head.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # A multibyte char truncated by the 512-byte probe errors at
+            # the very tail; anything earlier is genuinely non-text.
+            binary = exc.start < len(head) - 4
+    return "binary" if binary else "text"
+
+
 def read_layout_shapes(path: str) -> Tuple[Dict[str, List], Optional[float]]:
     """Parse a layout file into ``(layer -> shapes, extent_nm or None)``.
 
-    The JSON format records its extent; GDSII-text does not (``None`` —
-    callers derive it from the shapes' bounding box).
+    The JSON format records its extent; GDSII (text or binary) does not
+    (``None`` — callers derive it from the shapes' bounding box).  Binary
+    GDSII hierarchies are flattened to chip-space rectangles here; use
+    :func:`load_layout_file` to keep them lazy.
     """
     if path.endswith(".json"):
         return _read_json_layout(path)
+    kind = _probe_layout_kind(path)
+    if kind == "gds":
+        from .hierarchy import flatten_gds_shapes
+
+        return flatten_gds_shapes(parse_gds(path)), None
+    if kind == "binary":
+        raise LayoutFormatError(
+            path, 0, "not a layout file: contains NUL bytes but no GDSII "
+            "HEADER record (neither binary GDSII nor GDSII text)")
     return _read_gds_text_layout(path), None
 
 
@@ -65,25 +106,6 @@ def _read_gds_text_layout(path: str) -> Dict[str, List]:
     layer: Optional[str] = None
     vertices: List[Tuple[float, float]] = []
     in_element = False
-    # The standard .gds suffix usually means *binary* GDSII; only the ASCII
-    # text form is supported here, so probe and say that clearly instead of
-    # surfacing a decode traceback (or zero shapes) from inside the parser.
-    # Binary GDSII record headers are full of NUL bytes — which UTF-8
-    # happily decodes — so the NUL check is the reliable signal.
-    with open(path, "rb") as probe:
-        head = probe.read(512)
-    binary = b"\x00" in head
-    if not binary:
-        try:
-            head.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            # A multibyte char truncated by the 512-byte probe errors at
-            # the very tail; anything earlier is genuinely non-text.
-            binary = exc.start < len(head) - 4
-    if binary:
-        raise ValueError(
-            f"{path} is not GDSII text (looks like binary GDSII, which is "
-            f"not supported — convert it with a gds2ascii-style tool first)")
     with open(path, "r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             tokens = line.split()
@@ -126,15 +148,24 @@ def load_layout_file(path: str, pixel_size_nm: float,
                      shape: Optional[Tuple[int, int]] = None,
                      layers=None,
                      bucket_px: int = DEFAULT_BUCKET_PX,
-                     ) -> GeometryLayoutReader:
-    """Load a JSON / GDSII-text layout file as a windowed reader.
+                     ):
+    """Load a JSON / GDSII-text / binary-GDSII layout file as a windowed
+    reader.
 
     ``shape`` fixes the raster dimensions; by default they follow the file's
     recorded extent (JSON) or the shapes' bounding box rounded up to whole
-    pixels (GDSII-text).
+    pixels (GDSII text and binary).  Binary GDSII returns a lazy
+    :class:`~repro.layout.hierarchy.HierarchicalLayoutReader` (the cell
+    hierarchy is never flattened); the text formats return a
+    :class:`~repro.layout.indexed.GeometryLayoutReader`.
     """
     if not os.path.exists(path):
         raise FileNotFoundError(path)
+    if not path.endswith(".json") and _probe_layout_kind(path) == "gds":
+        from .hierarchy import load_gds_file
+
+        return load_gds_file(path, pixel_size_nm, shape=shape,
+                             layers=layers, bucket_px=bucket_px)
     shapes, extent_nm = read_layout_shapes(path)
     if shape is None and extent_nm is None:
         side = -(-shapes_extent_nm(shapes) // pixel_size_nm)  # ceil

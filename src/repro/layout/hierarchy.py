@@ -1,0 +1,708 @@
+"""Hierarchical layout reader: lazy SREF/AREF resolution, windowed raster.
+
+A parsed :class:`~repro.layout.gdsii.GDSLibrary` is a cell *graph* — each
+cell's own polygons plus placements (single ``SREF`` or ``AREF`` arrays) of
+other cells.  :class:`HierarchicalLayoutReader` speaks the
+:class:`~repro.layout.reader.LayoutReader` protocol directly over that
+graph:
+
+* the cell graph is validated (cycle detection) and each cell's geometry is
+  decomposed to rectangles and indexed into a per-cell **bucket grid built
+  once**, in the cell's own frame — an ``AREF`` of a million instances
+  indexes its cell exactly once;
+* ``read_window`` resolves transforms lazily: the placement tree is walked
+  top-down, instances whose chip-space bounding box misses the window are
+  pruned (for arrays, the intersecting ``(column, row)`` index range is
+  solved in closed form, so cost is flat in instance count), and only the
+  surviving geometry is transformed and rasterised — the dense flat raster
+  never materialises;
+* rasterisation reuses the pixel-centre interval arithmetic of
+  :mod:`repro.layout.indexed`, and the window walk and
+  :meth:`HierarchicalLayoutReader.flatten` share every transform operation,
+  so windows are **bit-for-bit** equal to the corresponding slices of the
+  dense flatten (pinned across backends, precisions, sharding and streaming
+  by ``tests/test_layout_hierarchy.py``);
+* :meth:`~HierarchicalLayoutReader.digest` hashes the flattened pixel
+  intervals in exactly the canonical
+  :meth:`~repro.layout.indexed.GeometryLayoutReader.digest` form, so a
+  hierarchical layout and its flat equivalent share one campaign identity.
+
+Transforms follow the GDSII convention restricted to Manhattan layouts:
+optional reflection about the x axis, magnification, then rotation by a
+multiple of 90 degrees, then translation (the parser rejects other angles).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..masks.geometry import Polygon
+from .gdsii import GDSLibrary, GDSReference, LayoutFormatError, parse_gds
+from .indexed import DEFAULT_BUCKET_PX, _pixel_interval
+
+__all__ = [
+    "Transform",
+    "HierarchicalLayoutReader",
+    "load_gds_file",
+    "flatten_gds_shapes",
+]
+
+#: Exact unit-circle values for quarter-turn rotations (index = turns % 4).
+_COS = (1.0, 0.0, -1.0, 0.0)
+_SIN = (0.0, 1.0, 0.0, -1.0)
+
+
+@dataclass(frozen=True)
+class Transform:
+    """A Manhattan affine map ``p -> A p + t`` (nm coordinates).
+
+    ``A`` is ``[[a, b], [c, d]]`` with entries in ``{0, ±mag}`` — the only
+    linear parts expressible as reflect + magnify + quarter-turn rotate —
+    so axis-aligned rectangles map to axis-aligned rectangles exactly.
+    """
+
+    a: float
+    b: float
+    c: float
+    d: float
+    tx: float
+    ty: float
+
+    @staticmethod
+    def identity() -> "Transform":
+        return Transform(1.0, 0.0, 0.0, 1.0, 0.0, 0.0)
+
+    @staticmethod
+    def place(tx: float, ty: float, mag: float = 1.0,
+              quarter_turns: int = 0, reflect: bool = False) -> "Transform":
+        """GDSII placement order: reflect about x, magnify, rotate, move."""
+        cos, sin = _COS[quarter_turns % 4], _SIN[quarter_turns % 4]
+        sy = -1.0 if reflect else 1.0
+        return Transform(a=mag * cos, b=-mag * sin * sy,
+                         c=mag * sin, d=mag * cos * sy, tx=tx, ty=ty)
+
+    def compose(self, inner: "Transform") -> "Transform":
+        """``self`` after ``inner``: ``(self . inner)(p) = self(inner(p))``."""
+        return Transform(
+            a=self.a * inner.a + self.b * inner.c,
+            b=self.a * inner.b + self.b * inner.d,
+            c=self.c * inner.a + self.d * inner.c,
+            d=self.c * inner.b + self.d * inner.d,
+            tx=self.a * inner.tx + self.b * inner.ty + self.tx,
+            ty=self.c * inner.tx + self.d * inner.ty + self.ty)
+
+    def apply(self, x: float, y: float) -> Tuple[float, float]:
+        return (self.a * x + self.b * y + self.tx,
+                self.c * x + self.d * y + self.ty)
+
+    def apply_vector(self, x: float, y: float) -> Tuple[float, float]:
+        """Linear part only (displacements have no translation)."""
+        return self.a * x + self.b * y, self.c * x + self.d * y
+
+    def apply_box(self, x1: float, y1: float, x2: float, y2: float,
+                  ) -> Tuple[float, float, float, float]:
+        """Image of an axis-aligned box (Manhattan maps preserve the form,
+        so the two opposite corners determine it)."""
+        px, py = self.apply(x1, y1)
+        qx, qy = self.apply(x2, y2)
+        return min(px, qx), min(py, qy), max(px, qx), max(py, qy)
+
+    def invert_box(self, x1: float, y1: float, x2: float, y2: float,
+                   ) -> Tuple[float, float, float, float]:
+        """Pre-image of an axis-aligned box (used only for conservative
+        candidate selection; rasterisation always uses forward maps)."""
+        det = self.a * self.d - self.b * self.c
+        corners = []
+        for cx, cy in ((x1, y1), (x2, y2)):
+            dx, dy = cx - self.tx, cy - self.ty
+            corners.append(((self.d * dx - self.b * dy) / det,
+                            (-self.c * dx + self.a * dy) / det))
+        (px, py), (qx, qy) = corners
+        return min(px, qx), min(py, qy), max(px, qx), max(py, qy)
+
+
+class _NmBucketGrid:
+    """One cell+layer spatial index over local-frame nm rectangles.
+
+    Built exactly once per cell regardless of how many times (or at what
+    magnification) the cell is instantiated; negative local coordinates are
+    fine (floored bucket indices).
+    """
+
+    def __init__(self, bucket_nm: float):
+        self._bucket_nm = float(bucket_nm)
+        self.boxes: List[Tuple[float, float, float, float]] = []
+        self._buckets: Dict[Tuple[int, int], List[int]] = {}
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def _span(self, low: float, high: float) -> range:
+        size = self._bucket_nm
+        return range(math.floor(low / size), math.floor(high / size) + 1)
+
+    def add(self, x1: float, y1: float, x2: float, y2: float) -> None:
+        index = len(self.boxes)
+        self.boxes.append((x1, y1, x2, y2))
+        for by in self._span(y1, y2):
+            for bx in self._span(x1, x2):
+                self._buckets.setdefault((by, bx), []).append(index)
+
+    def query(self, x1: float, y1: float, x2: float, y2: float) -> List[int]:
+        candidates: set = set()
+        for by in self._span(y1, y2):
+            for bx in self._span(x1, x2):
+                candidates.update(self._buckets.get((by, bx), ()))
+        return sorted(candidates)
+
+
+@dataclass(frozen=True)
+class _Instance:
+    """One placement, pre-scaled to nm: an SREF is the 1x1 array case."""
+
+    cell: str
+    origin: Tuple[float, float]
+    mag: float
+    quarter_turns: int
+    reflect: bool
+    columns: int
+    rows: int
+    column_vector: Tuple[float, float]
+    row_vector: Tuple[float, float]
+
+
+def _boxes_intersect(box: Tuple[float, float, float, float],
+                     other: Tuple[float, float, float, float]) -> bool:
+    return not (box[2] <= other[0] or other[2] <= box[0]
+                or box[3] <= other[1] or other[3] <= box[1])
+
+
+def _index_interval(value_low: float, value_high: float, step: float,
+                    count: int) -> Optional[Tuple[int, int]]:
+    """Integer ``i`` range with ``i * step`` inside ``[low, high]``, clipped
+    to ``[0, count)``; ``None`` when empty.  ``step == 0`` keeps the full
+    range when 0 is inside the interval."""
+    low, high = 0, count - 1
+    if step > 0:
+        low = max(low, math.ceil(value_low / step - 1e-9))
+        high = min(high, math.floor(value_high / step + 1e-9))
+    elif step < 0:
+        low = max(low, math.ceil(value_high / step - 1e-9))
+        high = min(high, math.floor(value_low / step + 1e-9))
+    elif not value_low <= 0.0 <= value_high:
+        return None
+    if low > high:
+        return None
+    return low, high
+
+
+class HierarchicalLayoutReader:
+    """A :class:`~repro.layout.reader.LayoutReader` over a GDSII cell graph.
+
+    Parameters
+    ----------
+    library:
+        A parsed :class:`~repro.layout.gdsii.GDSLibrary` (or raw ``bytes`` /
+        a path, parsed on the spot).
+    pixel_size_nm:
+        Raster sampling pitch.
+    top:
+        Root cell name.  Defaults to the library's single unreferenced cell;
+        ambiguous libraries (several top cells) must name one.
+    shape:
+        Raster dimensions ``(H, W)``; defaults to the square hull of the top
+        cell's bounding box, rounded up to whole pixels.
+    layers:
+        Layers rasterised by :meth:`read_window` (GDSII layer numbers as
+        strings, matching the flat readers; default: all, unioned).
+    bucket_px:
+        Per-cell bucket-grid granularity in pixels — a performance knob,
+        never results.
+
+    Raises :class:`~repro.layout.gdsii.LayoutFormatError` on cyclic cell
+    graphs, unknown top cells and layouts with no rasterisable content (when
+    no ``shape`` is given).
+    """
+
+    def __init__(self, library, pixel_size_nm: float,
+                 top: Optional[str] = None,
+                 shape: Optional[Tuple[int, int]] = None,
+                 layers: Optional[Iterable[str]] = None,
+                 bucket_px: int = DEFAULT_BUCKET_PX,
+                 source: Optional[str] = None):
+        if not isinstance(library, GDSLibrary):
+            library = parse_gds(library, name=source)
+        if pixel_size_nm <= 0:
+            raise ValueError("pixel_size_nm must be positive")
+        if bucket_px <= 0:
+            raise ValueError("bucket_px must be positive")
+        self.library = library
+        self.pixel_size_nm = float(pixel_size_nm)
+        self.bucket_px = int(bucket_px)
+        self._source = source or library.name
+        self._top = self._resolve_top(top)
+        self._check_acyclic()
+        unit = library.unit_nm
+        bucket_nm = self.bucket_px * self.pixel_size_nm
+        #: cell -> layer -> bucket grid over local nm rects (built once).
+        self._grids: Dict[str, Dict[str, _NmBucketGrid]] = {}
+        #: cell -> placements with nm origins / displacement vectors.
+        self._instances: Dict[str, List[_Instance]] = {}
+        for name, cell in library.cells.items():
+            grids: Dict[str, _NmBucketGrid] = {}
+            for boundary in cell.boundaries:
+                layer = str(boundary.layer)
+                grid = grids.setdefault(layer, _NmBucketGrid(bucket_nm))
+                ring = tuple((x * unit, y * unit) for x, y in boundary.xy)
+                for rect in Polygon(ring).to_rects():
+                    grid.add(rect.x, rect.y, rect.x2, rect.y2)
+            self._grids[name] = grids
+            self._instances[name] = [
+                _Instance(cell=ref.cell,
+                          origin=(ref.origin[0] * unit, ref.origin[1] * unit),
+                          mag=ref.mag, quarter_turns=ref.quarter_turns,
+                          reflect=ref.reflect, columns=ref.columns,
+                          rows=ref.rows,
+                          column_vector=(ref.column_vector[0] * unit,
+                                         ref.column_vector[1] * unit),
+                          row_vector=(ref.row_vector[0] * unit,
+                                      ref.row_vector[1] * unit))
+                for ref in cell.references]
+        self._bboxes = self._compute_bboxes()
+        all_layers = sorted({layer for grids in self._grids.values()
+                             for layer in grids})
+        self.layers = tuple(all_layers) if layers is None else tuple(layers)
+        if shape is None:
+            shape = self._default_shape()
+        if shape[0] <= 0 or shape[1] <= 0:
+            raise ValueError("raster shape must be positive")
+        self._shape = (int(shape[0]), int(shape[1]))
+        #: Candidate rectangles touched by the most recent ``read_window`` —
+        #: the flat-in-instance-count observable the hierarchy bench pins.
+        self.last_candidates = 0
+        self._digest: Optional[str] = None
+
+    # -------------------------------------------------------------- #
+    # graph validation / derived geometry
+    # -------------------------------------------------------------- #
+    def _resolve_top(self, top: Optional[str]) -> str:
+        cells = self.library.cells
+        if not cells:
+            raise LayoutFormatError(self._source, 0,
+                                    "library defines no structures")
+        if top is not None:
+            if top not in cells:
+                raise LayoutFormatError(
+                    self._source, 0,
+                    f"top cell {top!r} is not defined (cells: "
+                    f"{', '.join(sorted(cells))})")
+            return top
+        tops = self.library.top_cells
+        if len(tops) == 1:
+            return tops[0]
+        if not tops:
+            raise LayoutFormatError(self._source, 0,
+                                    "no top cell: every structure is "
+                                    "referenced (reference cycle)")
+        raise LayoutFormatError(
+            self._source, 0,
+            f"ambiguous top cell — pass top=...; candidates: "
+            f"{', '.join(tops)}")
+
+    def _check_acyclic(self) -> None:
+        """Iterative three-colour DFS; raises on the first back edge."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in self.library.cells}
+        for root in self.library.cells:
+            if colour[root] != WHITE:
+                continue
+            stack: List[Tuple[str, Iterator[str]]] = [
+                (root, iter([ref.cell for ref in
+                             self.library.cells[root].references]))]
+            colour[root] = GREY
+            while stack:
+                name, children = stack[-1]
+                child = next(children, None)
+                if child is None:
+                    colour[name] = BLACK
+                    stack.pop()
+                    continue
+                if colour[child] == GREY:
+                    cycle = [entry[0] for entry in stack]
+                    cycle = cycle[cycle.index(child):] + [child]
+                    raise LayoutFormatError(
+                        self._source, 0,
+                        f"reference cycle: {' -> '.join(cycle)}")
+                if colour[child] == WHITE:
+                    colour[child] = GREY
+                    stack.append(
+                        (child, iter([ref.cell for ref in
+                                      self.library.cells[child].references])))
+
+    def _compute_bboxes(self) -> Dict[str, Optional[Tuple[float, float,
+                                                          float, float]]]:
+        """Local-frame nm bounding box per cell, children included
+        (bottom-up over the DAG via memoised recursion-by-stack)."""
+        bboxes: Dict[str, Optional[Tuple[float, float, float, float]]] = {}
+
+        def resolve(name: str) -> Optional[Tuple[float, float, float, float]]:
+            if name in bboxes:
+                return bboxes[name]
+            box: Optional[Tuple[float, float, float, float]] = None
+
+            def merge(other):
+                nonlocal box
+                if other is None:
+                    return
+                box = other if box is None else (
+                    min(box[0], other[0]), min(box[1], other[1]),
+                    max(box[2], other[2]), max(box[3], other[3]))
+
+            for grid in self._grids[name].values():
+                for rect_box in grid.boxes:
+                    merge(rect_box)
+            for instance in self._instances[name]:
+                child_box = resolve(instance.cell)
+                if child_box is None:
+                    continue
+                base = Transform.place(*instance.origin, mag=instance.mag,
+                                       quarter_turns=instance.quarter_turns,
+                                       reflect=instance.reflect)
+                placed = base.apply_box(*child_box)
+                for column in (0, instance.columns - 1):
+                    for row in (0, instance.rows - 1):
+                        dx = (column * instance.column_vector[0]
+                              + row * instance.row_vector[0])
+                        dy = (column * instance.column_vector[1]
+                              + row * instance.row_vector[1])
+                        merge((placed[0] + dx, placed[1] + dy,
+                               placed[2] + dx, placed[3] + dy))
+            bboxes[name] = box
+            return box
+
+        for name in self.library.cells:
+            resolve(name)
+        return bboxes
+
+    def _default_shape(self) -> Tuple[int, int]:
+        box = self._bboxes[self._top]
+        if box is None or box[2] <= 0 or box[3] <= 0:
+            raise LayoutFormatError(
+                self._source, 0,
+                f"top cell {self._top!r} has no rasterisable content "
+                f"(pass shape=(H, W) to rasterise an empty window)")
+        side = int(-(-max(box[2], box[3]) // self.pixel_size_nm))  # ceil
+        return side, side
+
+    # -------------------------------------------------------------- #
+    # the lazy placement walk
+    # -------------------------------------------------------------- #
+    def _element_indices(self, instance: _Instance, transform: Transform,
+                         cell_box: Tuple[float, float, float, float],
+                         window: Tuple[float, float, float, float],
+                         ) -> Iterator[Tuple[int, int]]:
+        """Candidate ``(column, row)`` indices of array elements that may
+        intersect the chip-space ``window`` — solved in closed form, so the
+        cost is the number of *intersecting* elements, not ``cols * rows``.
+        Conservative: callers still bbox-test each candidate exactly.
+        """
+        columns, rows = instance.columns, instance.rows
+        base = transform.compose(
+            Transform.place(*instance.origin, mag=instance.mag,
+                            quarter_turns=instance.quarter_turns,
+                            reflect=instance.reflect))
+        element_box = base.apply_box(*cell_box)
+        # Chip-space displacement per column / row step.
+        cvx, cvy = transform.apply_vector(*instance.column_vector)
+        rvx, rvy = transform.apply_vector(*instance.row_vector)
+        # The displacement i*CV + j*RV must land inside this box for the
+        # element bbox to touch the window.
+        low_x, high_x = window[0] - element_box[2], window[2] - element_box[0]
+        low_y, high_y = window[1] - element_box[3], window[3] - element_box[1]
+        if columns == 1 and rows == 1:
+            if low_x <= 0.0 <= high_x and low_y <= 0.0 <= high_y:
+                yield 0, 0
+            return
+        determinant = cvx * rvy - cvy * rvx
+        if columns > 1 and rows > 1 and determinant != 0.0:
+            # Invert the 2x2 step matrix; the admissible (dx, dy) box maps
+            # to an (i, j) parallelogram whose corner hull bounds the range.
+            i_values, j_values = [], []
+            for dx in (low_x, high_x):
+                for dy in (low_y, high_y):
+                    i_values.append((rvy * dx - rvx * dy) / determinant)
+                    j_values.append((-cvy * dx + cvx * dy) / determinant)
+            i_low = max(0, math.ceil(min(i_values) - 1e-9))
+            i_high = min(columns - 1, math.floor(max(i_values) + 1e-9))
+            j_low = max(0, math.ceil(min(j_values) - 1e-9))
+            j_high = min(rows - 1, math.floor(max(j_values) + 1e-9))
+            for column in range(i_low, i_high + 1):
+                for row in range(j_low, j_high + 1):
+                    yield column, row
+            return
+        if columns == 1 or rows == 1:
+            # One-dimensional array: intersect the per-axis constraints.
+            count = columns if rows == 1 else rows
+            vector = (instance.column_vector if rows == 1
+                      else instance.row_vector)
+            vx, vy = transform.apply_vector(*vector)
+            span_x = _index_interval(low_x, high_x, vx, count)
+            span_y = _index_interval(low_y, high_y, vy, count)
+            if span_x is None or span_y is None:
+                return
+            low = max(span_x[0], span_y[0])
+            high = min(span_x[1], span_y[1])
+            for index in range(low, high + 1):
+                yield (index, 0) if rows == 1 else (0, index)
+            return
+        # Collinear 2-D spacing is rejected at parse time; a programmatic
+        # library can still reach here — fall back to the exhaustive scan.
+        for column in range(columns):  # pragma: no cover - malformed input
+            for row in range(rows):
+                yield column, row
+
+    def _iter_cell(self, name: str, transform: Transform,
+                   window: Optional[Tuple[float, float, float, float]],
+                   ) -> Iterator[Tuple[str, float, float, float, float]]:
+        """Yield ``(layer, x1, y1, x2, y2)`` chip-space nm rectangles of
+        ``name`` under ``transform``, pruned to ``window`` (conservative)
+        when one is given.  The flatten path is this very generator with
+        ``window=None``, so both compute identical floating-point
+        coordinates for every surviving rectangle — the root of the
+        bit-for-bit hierarchical == flattened guarantee.
+        """
+        grids = self._grids[name]
+        if window is None:
+            for layer, grid in grids.items():
+                for box in grid.boxes:
+                    yield (layer, *transform.apply_box(*box))
+        else:
+            local = transform.invert_box(*window)
+            for layer, grid in grids.items():
+                if self.layers and layer not in self.layers:
+                    continue
+                for index in grid.query(*local):
+                    chip = transform.apply_box(*grid.boxes[index])
+                    if _boxes_intersect(chip, window):
+                        yield (layer, *chip)
+        for instance in self._instances[name]:
+            cell_box = self._bboxes[instance.cell]
+            if cell_box is None:
+                continue
+            if window is None:
+                candidates: Iterable[Tuple[int, int]] = (
+                    (column, row) for column in range(instance.columns)
+                    for row in range(instance.rows))
+            else:
+                candidates = self._element_indices(instance, transform,
+                                                   cell_box, window)
+            for column, row in candidates:
+                origin = (instance.origin[0]
+                          + column * instance.column_vector[0]
+                          + row * instance.row_vector[0],
+                          instance.origin[1]
+                          + column * instance.column_vector[1]
+                          + row * instance.row_vector[1])
+                placed = transform.compose(
+                    Transform.place(*origin, mag=instance.mag,
+                                    quarter_turns=instance.quarter_turns,
+                                    reflect=instance.reflect))
+                if window is not None and not _boxes_intersect(
+                        placed.apply_box(*cell_box), window):
+                    continue
+                yield from self._iter_cell(instance.cell, placed, window)
+
+    def _window_rects(self, row0: int, row1: int, col0: int, col1: int,
+                      ) -> Iterator[Tuple[str, int, int, int, int]]:
+        """Exact pixel intervals (clipped to the window) of every rectangle
+        reaching the pixel window — the shared core of ``read_window`` and
+        ``window_is_empty``."""
+        pixel = self.pixel_size_nm
+        pad = 0.5 * pixel + 1e-9  # pixel-centre sampling slack
+        window = (col0 * pixel - pad, row0 * pixel - pad,
+                  col1 * pixel + pad, row1 * pixel + pad)
+        height, width = self._shape
+        for layer, x1, y1, x2, y2 in self._iter_cell(
+                self._top, Transform.identity(), window):
+            self.last_candidates += 1
+            rect_row0, rect_row1 = _pixel_interval(y1, y2, pixel, height)
+            rect_col0, rect_col1 = _pixel_interval(x1, x2, pixel, width)
+            top = max(rect_row0, row0)
+            bottom = min(rect_row1, row1)
+            left = max(rect_col0, col0)
+            right = min(rect_col1, col1)
+            if bottom > top and right > left:
+                yield layer, top, bottom, left, right
+
+    # -------------------------------------------------------------- #
+    # the reader protocol
+    # -------------------------------------------------------------- #
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self._shape
+
+    @property
+    def top_cell(self) -> str:
+        return self._top
+
+    def read_window(self, row: int, col: int, height: int,
+                    width: int) -> np.ndarray:
+        if height <= 0 or width <= 0:
+            raise ValueError("window dimensions must be positive")
+        out = np.zeros((height, width), dtype=float)
+        row0, col0 = max(row, 0), max(col, 0)
+        row1 = min(row + height, self._shape[0])
+        col1 = min(col + width, self._shape[1])
+        self.last_candidates = 0
+        if row1 <= row0 or col1 <= col0:
+            return out
+        for _, top, bottom, left, right in self._window_rects(row0, row1,
+                                                              col0, col1):
+            out[top - row:bottom - row, left - col:right - col] = 1.0
+        return out
+
+    def window_is_empty(self, row: int, col: int, height: int,
+                        width: int) -> bool:
+        """True when the window rasterises to all zeros — decided from the
+        placement walk alone (first surviving rectangle short-circuits),
+        powering the tile-result cache's zero-tile fast path."""
+        if height <= 0 or width <= 0:
+            raise ValueError("window dimensions must be positive")
+        row0, col0 = max(row, 0), max(col, 0)
+        row1 = min(row + height, self._shape[0])
+        col1 = min(col + width, self._shape[1])
+        if row1 <= row0 or col1 <= col0:
+            return True
+        candidates = self.last_candidates  # existence probe, not a query:
+        try:                               # leave the observable untouched
+            return next(self._window_rects(row0, row1, col0, col1),
+                        None) is None
+        finally:
+            self.last_candidates = candidates
+
+    def digest(self) -> str:
+        """Canonical campaign identity — **equal to the digest of the
+        flattened** :class:`~repro.layout.indexed.GeometryLayoutReader`.
+
+        The flattened rectangles' clipped pixel intervals are hashed in
+        exactly the canonical flat-reader form, so whether a campaign loads
+        the hierarchical ``.gds`` or a pre-flattened equivalent, the store
+        sees one identity.  Computed once and cached (the walk enumerates
+        every placed rectangle; windows never pay this cost).
+        """
+        if self._digest is not None:
+            return self._digest
+        height, width = self._shape
+        pixel = self.pixel_size_nm
+        intervals: Dict[str, set] = {layer: set() for layer in self.layers}
+        for layer, x1, y1, x2, y2 in self._iter_cell(
+                self._top, Transform.identity(), None):
+            if layer not in intervals:
+                continue
+            row0, row1 = _pixel_interval(y1, y2, pixel, height)
+            col0, col1 = _pixel_interval(x1, x2, pixel, width)
+            if row1 > row0 and col1 > col0:
+                intervals[layer].add((row0, row1, col0, col1))
+        digest = hashlib.sha256()
+        digest.update(f"repro-layout-reader|shape={self._shape}"
+                      f"|pixel={self.pixel_size_nm!r}".encode("ascii"))
+        for layer in self.layers:
+            digest.update(f"|layer={layer}:".encode("utf-8"))
+            for interval in sorted(intervals[layer]):
+                digest.update(repr(interval).encode("ascii"))
+        self._digest = digest.hexdigest()
+        return self._digest
+
+    # -------------------------------------------------------------- #
+    # conveniences
+    # -------------------------------------------------------------- #
+    def flatten_shapes(self) -> Dict[str, List]:
+        """Flatten the hierarchy to chip-space rectangles per layer (the
+        dense-equivalence witness; same float arithmetic as the window
+        walk)."""
+        from ..masks.geometry import Rect
+
+        shapes: Dict[str, List] = {}
+        for layer, x1, y1, x2, y2 in self._iter_cell(
+                self._top, Transform.identity(), None):
+            if self.layers and layer not in self.layers:
+                continue
+            shapes.setdefault(layer, []).append(
+                Rect(x1, y1, x2 - x1, y2 - y1))
+        return shapes
+
+    def flatten(self):
+        """The dense-flatten reference reader
+        (:class:`~repro.layout.indexed.GeometryLayoutReader` over
+        :meth:`flatten_shapes`) — used by the conformance tests to pin
+        hierarchical == flattened bit for bit."""
+        from .indexed import GeometryLayoutReader
+
+        return GeometryLayoutReader(self.flatten_shapes(),
+                                    self.pixel_size_nm, shape=self._shape,
+                                    layers=self.layers,
+                                    bucket_px=self.bucket_px)
+
+    def materialise(self) -> np.ndarray:
+        """The full dense raster — for tests and small layouts only."""
+        return self.read_window(0, 0, *self._shape)
+
+    @property
+    def cell_count(self) -> int:
+        return len(self.library.cells)
+
+    @property
+    def instance_count(self) -> int:
+        """Total placed cell copies under the top cell (arrays expanded —
+        arithmetically, nothing is materialised)."""
+        counts: Dict[str, int] = {}
+
+        def resolve(name: str) -> int:
+            if name not in counts:
+                counts[name] = 1 + sum(
+                    instance.columns * instance.rows * resolve(instance.cell)
+                    for instance in self._instances[name])
+            return counts[name]
+
+        return resolve(self._top)
+
+    @property
+    def depth(self) -> int:
+        """Levels in the placement tree under (and including) the top cell."""
+        depths: Dict[str, int] = {}
+
+        def resolve(name: str) -> int:
+            if name not in depths:
+                children = [resolve(instance.cell)
+                            for instance in self._instances[name]]
+                depths[name] = 1 + (max(children) if children else 0)
+            return depths[name]
+
+        return resolve(self._top)
+
+
+def flatten_gds_shapes(library, top: Optional[str] = None,
+                       ) -> Dict[str, List]:
+    """Flatten a parsed (or raw) GDSII library to chip-space nm rectangles
+    per layer — the shapes-only view :func:`repro.layout.read_layout_shapes`
+    returns for binary GDSII (pixel-free, so any raster pitch can follow).
+    """
+    reader = HierarchicalLayoutReader(library, pixel_size_nm=1.0, top=top,
+                                      shape=(1, 1))
+    return reader.flatten_shapes()
+
+
+def load_gds_file(path: str, pixel_size_nm: float,
+                  shape: Optional[Tuple[int, int]] = None,
+                  layers: Optional[Iterable[str]] = None,
+                  bucket_px: int = DEFAULT_BUCKET_PX,
+                  top: Optional[str] = None) -> HierarchicalLayoutReader:
+    """Load a binary GDSII file as a windowed hierarchical reader."""
+    return HierarchicalLayoutReader(parse_gds(path), pixel_size_nm, top=top,
+                                    shape=shape, layers=layers,
+                                    bucket_px=bucket_px, source=path)

@@ -1,8 +1,9 @@
 """Turn a layout *description* into something the engines can image.
 
 The CLI and the campaign service both accept layouts three ways — a dense
-``.npy``/``.npz`` raster, a geometry file (repro-layout JSON / GDSII-text,
-imaged through the windowed readers), or a synthesised benchmark canvas —
+``.npy``/``.npz`` raster, a geometry file (repro-layout JSON / GDSII-text /
+hierarchical binary GDSII, imaged through the windowed readers), or a
+synthesised benchmark canvas —
 and both must resolve them identically, or a service-submitted campaign
 would not be bit-for-bit comparable to the same campaign run via
 ``repro sweep-window``.  These helpers are that single resolution path.
@@ -37,7 +38,8 @@ def load_layout_mask(path: str) -> np.ndarray:
 
 def load_layout_source(path: str, pixel_size_nm: float):
     """Dense raster (``.npy``/``.npz``) or windowed geometry reader (anything
-    :func:`repro.layout.is_layout_file` recognises — JSON / GDSII-text)."""
+    :func:`repro.layout.is_layout_file` recognises — JSON / GDSII-text /
+    binary GDSII)."""
     if is_layout_file(path):
         return load_layout_file(path, pixel_size_nm=pixel_size_nm)
     return load_layout_mask(path)

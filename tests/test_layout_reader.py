@@ -211,11 +211,26 @@ class TestLayoutFiles:
         assert reader.shape == (28, 28)  # bounding box 224 nm, ceil / 8
         assert int(reader.materialise().sum()) == 16 * 8 + 8 * 8
 
-    def test_binary_gds_rejected_with_clear_error(self, tmp_path):
+    def test_truncated_binary_gds_fails_loudly(self, tmp_path):
+        """Binary GDSII now *loads* (see test_layout_hierarchy.py); a
+        truncated stream must still fail with a clear, offset-bearing
+        error — not a decode traceback or zero shapes."""
+        from repro.layout import LayoutFormatError
+
         path = tmp_path / "chip.gds"
-        # a real binary GDSII header: record length / HEADER / version words
+        # a real binary GDSII header, cut off mid-BGNLIB record
         path.write_bytes(bytes([0, 6, 0, 2, 2, 0x58]) + b"\x00\x1c\x01\x02")
-        with pytest.raises(ValueError, match="binary GDSII"):
+        with pytest.raises(LayoutFormatError, match="offset"):
+            load_layout_file(str(path), pixel_size_nm=8.0)
+
+    def test_non_gds_binary_rejected_with_clear_error(self, tmp_path):
+        """NUL-ridden files without a GDSII HEADER stay a loud error."""
+        from repro.layout import LayoutFormatError
+
+        path = tmp_path / "blob.gds"
+        path.write_bytes(b"\x89PNG\x00\x00\x00\x0d" * 8)
+        with pytest.raises(LayoutFormatError,
+                           match="neither binary GDSII nor GDSII text"):
             load_layout_file(str(path), pixel_size_nm=8.0)
 
     def test_suffix_dispatch_and_errors(self, tmp_path):
